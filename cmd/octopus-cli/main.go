@@ -1,0 +1,153 @@
+// Command octopus-cli is a minimal command-line client for an Octopus
+// deployment's wire endpoint: produce, consume, and offset inspection
+// for quick experiments and debugging.
+//
+//	octopus-cli -addr 127.0.0.1:9092 -key AKIA... -secret ... produce -topic t -value '{"x":1}'
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous consume -topic t -from earliest -max 10
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous offsets -topic t
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9092", "wire endpoint address")
+	key := flag.String("key", "", "access key id")
+	secret := flag.String("secret", "", "secret access key")
+	anonymous := flag.Bool("anonymous", false, "connect without credentials")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets [subflags]")
+		os.Exit(2)
+	}
+
+	var (
+		conn *wire.Client
+		err  error
+	)
+	if *anonymous {
+		conn, err = wire.DialAnonymous(*addr)
+	} else {
+		conn, err = wire.Dial(*addr, *key, *secret)
+	}
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+
+	switch args[0] {
+	case "produce":
+		produce(conn, args[1:])
+	case "consume":
+		consume(conn, args[1:])
+	case "offsets":
+		offsets(conn, args[1:])
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func produce(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("produce", flag.ExitOnError)
+	topic := fs.String("topic", "", "topic to publish to")
+	keyStr := fs.String("key", "", "event key")
+	value := fs.String("value", "", "event payload")
+	acks := fs.Int("acks", 1, "acknowledgment level: 0, 1, -1 (all)")
+	count := fs.Int("count", 1, "publish the event this many times")
+	_ = fs.Parse(args)
+	if *topic == "" || *value == "" {
+		log.Fatal("produce needs -topic and -value")
+	}
+	var k []byte
+	if *keyStr != "" {
+		k = []byte(*keyStr)
+	}
+	evs := make([]event.Event, *count)
+	for i := range evs {
+		evs[i] = event.Event{Key: k, Value: []byte(*value)}
+	}
+	off, err := conn.Produce("", *topic, -1, evs, broker.Acks(*acks))
+	if err != nil {
+		log.Fatalf("produce: %v", err)
+	}
+	fmt.Printf("published %d event(s), base offset %d\n", *count, off)
+}
+
+func consume(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("consume", flag.ExitOnError)
+	topic := fs.String("topic", "", "topic to consume")
+	from := fs.String("from", "earliest", "earliest | latest")
+	max := fs.Int("max", 10, "stop after this many events")
+	wait := fs.Duration("wait", 2*time.Second, "how long to wait for events")
+	_ = fs.Parse(args)
+	if *topic == "" {
+		log.Fatal("consume needs -topic")
+	}
+	start := client.StartEarliest
+	if *from == "latest" {
+		start = client.StartLatest
+	}
+	c := client.NewConsumer(conn, client.ConsumerConfig{Start: start})
+	defer c.Close()
+	meta, err := conn.TopicMeta(*topic)
+	if err != nil {
+		log.Fatalf("meta: %v", err)
+	}
+	for p := 0; p < meta.Config.Partitions; p++ {
+		if err := c.Assign(*topic, p); err != nil {
+			log.Fatalf("assign: %v", err)
+		}
+	}
+	got := 0
+	deadline := time.Now().Add(*wait)
+	for got < *max && time.Now().Before(deadline) {
+		evs, err := c.Poll(*max - got)
+		if err != nil {
+			log.Fatalf("poll: %v", err)
+		}
+		for _, ev := range evs {
+			fmt.Printf("%s/%d@%d key=%q %s\n", ev.Topic, ev.Partition, ev.Offset, ev.Key, ev.Value)
+			got++
+		}
+		if len(evs) == 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	fmt.Printf("consumed %d event(s)\n", got)
+}
+
+func offsets(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("offsets", flag.ExitOnError)
+	topic := fs.String("topic", "", "topic to inspect")
+	_ = fs.Parse(args)
+	if *topic == "" {
+		log.Fatal("offsets needs -topic")
+	}
+	meta, err := conn.TopicMeta(*topic)
+	if err != nil {
+		log.Fatalf("meta: %v", err)
+	}
+	fmt.Printf("topic %s: %d partitions, rf=%d\n", *topic, meta.Config.Partitions, meta.Config.ReplicationFactor)
+	for p := 0; p < meta.Config.Partitions; p++ {
+		start, err := conn.StartOffset(*topic, p)
+		if err != nil {
+			log.Fatalf("start offset: %v", err)
+		}
+		end, err := conn.EndOffset(*topic, p)
+		if err != nil {
+			log.Fatalf("end offset: %v", err)
+		}
+		fmt.Printf("  partition %d: offsets [%d, %d) leader=broker-%d\n", p, start, end, meta.Partitions[p].Leader)
+	}
+}

@@ -1,0 +1,133 @@
+// Epidemic reproduces the Epidemic Modeling and Response use case
+// (§VI-D, Figure 6 right): synthetic public-health data sources publish
+// daily updates into Octopus; a trigger ingests, cleans and validates
+// them into a common schema; the SIR model retrains as data arrives and
+// publishes R estimates; and threshold alerts notify decision makers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/epidemic"
+	"repro/internal/trigger"
+)
+
+func main() {
+	oct, err := core.Launch(core.Config{Brokers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer oct.Shutdown()
+	team, err := oct.Register("epi-team@uchicago.edu", "globus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := oct.CreateTopic(team, "raw-reports", core.TopicOptions{Partitions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := oct.CreateTopic(team, "model-results", core.TopicOptions{Partitions: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The modeling trigger: every raw update is cleaned/validated; valid
+	// reports retrain the SIR model; each retraining publishes an R
+	// estimate and alert level to the results topic.
+	var mu sync.Mutex
+	model := epidemic.NewSIRModel("metro", 8_000_000)
+	rejected := 0
+	resultsProducer := results.Producer()
+	defer resultsProducer.Close()
+	_, err = raw.AddTrigger("model", core.TriggerOptions{BatchSize: 32}, func(inv *trigger.Invocation) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, ev := range inv.Events {
+			doc, err := ev.JSON()
+			if err != nil {
+				rejected++
+				continue
+			}
+			fields, _ := doc["fields"].(map[string]any)
+			rep, err := epidemic.Clean(epidemic.RawRecord{Source: doc["source"].(string), Fields: fields})
+			if err != nil {
+				rejected++ // validation stage rejects corrupt records
+				continue
+			}
+			model.Observe(rep.NewCases)
+			if r, err := model.REstimate(); err == nil {
+				alert := epidemic.Evaluate(rep.Region, r)
+				if err := resultsProducer.SendJSON(rep.Region, alert); err != nil {
+					return err
+				}
+			}
+		}
+		// Push alerts out before acknowledging the batch so a consumer
+		// observing "all raw data processed" also sees the alerts.
+		return resultsProducer.Flush()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The data source publishes 90 days of updates.
+	src := epidemic.NewSource("public-health-feed", "metro", 8_000_000, 2.2)
+	p := raw.Producer()
+	defer p.Close()
+	day0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for d := 0; d < 90; d++ {
+		rec := src.Next(day0.AddDate(0, 0, d))
+		if err := p.SendJSON("metro", rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Decision makers consume the alert stream.
+	c := results.Consumer(core.FromEarliest())
+	defer c.Close()
+	var lastAlert map[string]any
+	alerts := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		evs, err := c.Poll(100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range evs {
+			doc, _ := ev.JSON()
+			lastAlert = doc
+			alerts++
+		}
+		mu.Lock()
+		days := model.Days()
+		mu.Unlock()
+		if days+rejected >= 90 && len(evs) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("raw updates published:  90\n")
+	fmt.Printf("rejected by validation: %d\n", rejected)
+	fmt.Printf("days modeled:           %d\n", model.Days())
+	fmt.Printf("R alerts published:     %d\n", alerts)
+	if lastAlert != nil {
+		fmt.Printf("latest: region=%v R=%.2f level=%v\n", lastAlert["region"], lastAlert["r"], lastAlert["level"])
+	}
+	if proj, err := model.Project(14); err == nil {
+		fmt.Printf("14-day projection:      %v\n", proj)
+	}
+	if alerts == 0 {
+		log.Fatal("no alerts flowed through the pipeline")
+	}
+	fmt.Println("epidemic pipeline complete")
+}

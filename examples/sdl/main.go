@@ -1,0 +1,76 @@
+// SDL reproduces the Self-Driving Laboratory use case (§VI-A): a
+// simulated lab runs autonomous experiment loops, every instrument and
+// robot action lands in a global event log, and the log answers both
+// dashboard queries (events per stage) and provenance traces — including
+// pinpointing where a failed run stopped.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/sdl"
+)
+
+func main() {
+	oct, err := core.Launch(core.Config{Brokers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer oct.Shutdown()
+	pi, err := oct.Register("pi@lab.anl.gov", "globus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := oct.CreateTopic(pi, "lab-log", core.TopicOptions{Partitions: 2}); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := client.NewDirect(oct.Fabric)
+	lab := sdl.NewLab(tr, "lab-log", nil)
+	defer lab.Close()
+	// Every 4th synthesis action faults, as real robots do.
+	lab.Instruments[sdl.StageSynthesize].FailEvery = 4
+
+	var failed []string
+	for i := 0; i < 8; i++ {
+		exp, ok, err := lab.RunExperiment()
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if !ok {
+			status = "FAILED"
+			failed = append(failed, exp)
+		}
+		fmt.Printf("experiment %s: %s\n", exp, status)
+	}
+
+	// Dashboard: events per workflow stage.
+	counts, err := sdl.StageCounts(tr, "lab-log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nevents per stage (dashboard view):")
+	for _, stage := range sdl.Stages() {
+		fmt.Printf("  %-13s %d\n", stage, counts[string(stage)])
+	}
+
+	// Provenance: trace a failed run back through its event log.
+	if len(failed) > 0 {
+		prov, err := sdl.TraceExperiment(tr, "lab-log", failed[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nprovenance of failed run %s (%d events):\n", failed[0], len(prov.Events))
+		for _, ev := range prov.Events {
+			fmt.Printf("  %-18s %-13s %s\n", ev.Instrument, ev.Stage, ev.Action)
+		}
+		if !prov.Failed {
+			log.Fatal("provenance lost the failure")
+		}
+	}
+	fmt.Println("\nSDL event log demo complete")
+}

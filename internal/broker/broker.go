@@ -1,0 +1,555 @@
+// Package broker implements the data plane of the Octopus event fabric:
+// a cluster of broker nodes hosting replicated, partitioned commit logs
+// with Kafka-compatible semantics — keyed partitioning, acks=0/1/all,
+// high-watermark reads, consumer groups with committed offsets, leader
+// failover, and per-topic ACL enforcement. It is the from-scratch
+// replacement for the AWS MSK cluster of §IV-A.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+	"repro/internal/metrics"
+	"repro/internal/vclock"
+	"repro/internal/zk"
+)
+
+// Acks is the producer acknowledgment level (§IV-F: "clients can
+// configure the number of acknowledgments required").
+type Acks int
+
+// Acknowledgment levels.
+const (
+	// AcksNone returns before any broker has durably appended.
+	AcksNone Acks = 0
+	// AcksLeader returns once the partition leader has appended.
+	AcksLeader Acks = 1
+	// AcksAll returns once every in-sync replica has appended.
+	AcksAll Acks = -1
+)
+
+func (a Acks) String() string {
+	switch a {
+	case AcksNone:
+		return "0"
+	case AcksLeader:
+		return "1"
+	case AcksAll:
+		return "all"
+	}
+	return fmt.Sprintf("Acks(%d)", int(a))
+}
+
+// Errors returned by the data plane.
+var (
+	// ErrLeaderUnavailable reports a produce/fetch against a partition
+	// whose leader is down and not yet re-elected.
+	ErrLeaderUnavailable = errors.New("broker: partition leader unavailable")
+	// ErrBrokerDown reports an operation routed to a stopped broker.
+	ErrBrokerDown = errors.New("broker: broker is down")
+	// ErrNoPartition reports an out-of-range partition id.
+	ErrNoPartition = errors.New("broker: no such partition")
+	// ErrNotEnoughReplicas reports acks=all with too few in-sync replicas.
+	ErrNotEnoughReplicas = errors.New("broker: not enough in-sync replicas")
+)
+
+// TP identifies a topic partition.
+type TP struct {
+	Topic     string
+	Partition int
+}
+
+func (tp TP) String() string { return fmt.Sprintf("%s-%d", tp.Topic, tp.Partition) }
+
+// Node is one broker: a host for partition replica logs.
+type Node struct {
+	ID      int
+	Info    cluster.BrokerInfo
+	session int64
+	down    atomic.Bool
+
+	mu   sync.RWMutex
+	logs map[TP]*eventlog.Log
+}
+
+func newNode(info cluster.BrokerInfo) *Node {
+	return &Node{ID: info.ID, Info: info, logs: make(map[TP]*eventlog.Log)}
+}
+
+// log returns (creating if needed) the replica log for tp.
+func (n *Node) log(tp TP, cfg eventlog.Config) *eventlog.Log {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.logs[tp]
+	if !ok {
+		l = eventlog.New(cfg)
+		n.logs[tp] = l
+	}
+	return l
+}
+
+func (n *Node) existingLog(tp TP) (*eventlog.Log, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.logs[tp]
+	return l, ok
+}
+
+// Down reports whether the node is stopped (failure injection).
+func (n *Node) Down() bool { return n.down.Load() }
+
+// Fabric is the assembled event fabric: controller + broker nodes +
+// group coordinator + security. All client-facing operations go through
+// Fabric methods; the wire layer (internal/wire) and the SDK
+// (internal/client) are thin shims over them.
+type Fabric struct {
+	Reg   *zk.Registry
+	Ctl   *cluster.Controller
+	ACL   *auth.ACLStore
+	Auth  *auth.Service
+	Clock vclock.Clock
+
+	mu    sync.RWMutex
+	nodes map[int]*Node
+
+	Groups  *Coordinator
+	Metrics *metrics.Registry
+	// Quotas enforces per-identity produce rate limits (§VII-C).
+	Quotas *Quotas
+
+	// MinInsyncReplicas is the minimum ISR size accepted by acks=all
+	// produces (Kafka's min.insync.replicas; default 1).
+	MinInsyncReplicas int
+}
+
+// NewFabric assembles a fabric over a fresh registry.
+func NewFabric(clock vclock.Clock) *Fabric {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	reg := zk.NewRegistry()
+	f := &Fabric{
+		Reg:               reg,
+		Ctl:               cluster.NewController(reg, clock),
+		ACL:               auth.NewACLStore(reg),
+		Auth:              auth.NewService(clock, 0),
+		Clock:             clock,
+		nodes:             make(map[int]*Node),
+		Metrics:           metrics.NewRegistry(),
+		Quotas:            NewQuotas(clock),
+		MinInsyncReplicas: 1,
+	}
+	f.Groups = NewCoordinator(f)
+	return f
+}
+
+// AddBroker registers and starts a broker node.
+func (f *Fabric) AddBroker(info cluster.BrokerInfo) (*Node, error) {
+	n := newNode(info)
+	sess, err := f.Ctl.RegisterBroker(info)
+	if err != nil {
+		return nil, err
+	}
+	n.session = sess
+	f.mu.Lock()
+	f.nodes[info.ID] = n
+	f.mu.Unlock()
+	return n, nil
+}
+
+// AddBrokers registers n identical brokers with ids 0..n-1.
+func (f *Fabric) AddBrokers(n, vcpus, memGB int) error {
+	for i := 0; i < n; i++ {
+		if _, err := f.AddBroker(cluster.BrokerInfo{ID: i, VCPUs: vcpus, MemGB: memGB}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Node returns the broker with the given id.
+func (f *Fabric) Node(id int) (*Node, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, ok := f.nodes[id]
+	return n, ok
+}
+
+// logConfig derives the storage config for a topic.
+func logConfig(cfg cluster.TopicConfig) eventlog.Config {
+	lc := eventlog.DefaultConfig()
+	lc.Retention = cfg.Retention
+	lc.Compact = cfg.Compact
+	return lc
+}
+
+// CreateTopic provisions a topic and grants the owner full permissions,
+// combining the controller assignment with the ACL bootstrap that the
+// OWS PUT /topic/<topic> route performs.
+func (f *Fabric) CreateTopic(name, owner string, cfg cluster.TopicConfig) (*cluster.TopicMeta, error) {
+	meta, err := f.Ctl.CreateTopic(name, owner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if owner != "" {
+		if err := f.ACL.Grant(name, owner); err != nil {
+			return nil, err
+		}
+	}
+	return meta, nil
+}
+
+// partitionFor picks the partition for an event: keyed events hash their
+// key (stable routing, per-key ordering); unkeyed events round-robin.
+var rrCounter atomic.Uint64
+
+func partitionFor(ev *event.Event, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	if len(ev.Key) > 0 {
+		h := fnv.New32a()
+		h.Write(ev.Key)
+		return int(h.Sum32() % uint32(parts))
+	}
+	return int(rrCounter.Add(1) % uint64(parts))
+}
+
+// Produce appends events to a topic. partition < 0 selects per event by
+// key hash / round-robin. identity is checked for WRITE permission
+// unless empty (trusted in-process caller). It returns the base offset
+// of the first appended event on the (single) chosen partition when all
+// events map to one partition, else the offset of the last append.
+func (f *Fabric) Produce(identity, topic string, partition int, evs []event.Event, acks Acks) (int64, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if identity != "" {
+		if err := f.ACL.Check(topic, identity, auth.PermWrite); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.Quotas.Admit(identity, len(evs)); err != nil {
+		f.Metrics.Counter("fabric.rate_limited").Add(int64(len(evs)))
+		return 0, err
+	}
+	meta, err := f.Ctl.Topic(topic)
+	if err != nil {
+		return 0, err
+	}
+	// Group events by destination partition preserving order.
+	byPart := make(map[int][]event.Event)
+	order := make([]int, 0, 4)
+	for i := range evs {
+		p := partition
+		if p < 0 {
+			p = partitionFor(&evs[i], meta.Config.Partitions)
+		}
+		if p >= meta.Config.Partitions || p < 0 {
+			return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topic, p)
+		}
+		if _, ok := byPart[p]; !ok {
+			order = append(order, p)
+		}
+		byPart[p] = append(byPart[p], evs[i].Clone())
+	}
+	var base int64 = -1
+	for _, p := range order {
+		off, err := f.producePartition(meta, p, byPart[p], acks)
+		if err != nil {
+			return 0, err
+		}
+		if base < 0 {
+			base = off
+		}
+	}
+	f.Metrics.Counter("fabric.produced").Add(int64(len(evs)))
+	return base, nil
+}
+
+func (f *Fabric) producePartition(meta *cluster.TopicMeta, p int, evs []event.Event, acks Acks) (int64, error) {
+	pm := meta.Partitions[p]
+	if pm.Leader < 0 {
+		return 0, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, meta.Name, p)
+	}
+	leader, ok := f.Node(pm.Leader)
+	if !ok || leader.Down() {
+		return 0, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, meta.Name, p, pm.Leader)
+	}
+	if acks == AcksAll && len(pm.ISR) < f.MinInsyncReplicas {
+		return 0, fmt.Errorf("%w: isr=%d min=%d", ErrNotEnoughReplicas, len(pm.ISR), f.MinInsyncReplicas)
+	}
+	tp := TP{Topic: meta.Name, Partition: p}
+	now := f.Clock.Now()
+	for i := range evs {
+		evs[i].Topic = meta.Name
+		evs[i].Partition = p
+	}
+	lcfg := logConfig(meta.Config)
+	base, err := leader.log(tp, lcfg).AppendBatch(evs, now)
+	if err != nil {
+		return 0, err
+	}
+	// Replicate to in-sync followers. Replication is synchronous within
+	// the produce call: followers apply the same batch at the same
+	// offsets, so logs stay identical and failover is lossless for
+	// acks>=1 produces. (The latency cost of waiting is modeled by the
+	// client/testbed layers; in-process application is immediate.)
+	for _, r := range pm.ISR {
+		if r == pm.Leader {
+			continue
+		}
+		fn, ok := f.Node(r)
+		if !ok || fn.Down() {
+			continue
+		}
+		if _, err := fn.log(tp, lcfg).AppendBatch(evs, now); err != nil {
+			return 0, fmt.Errorf("broker: replicate %s to %d: %w", tp, r, err)
+		}
+	}
+	return base, nil
+}
+
+// FetchResult is the response to a Fetch.
+type FetchResult struct {
+	Events []event.Event
+	// HighWatermark is the end offset of the partition at read time.
+	HighWatermark int64
+	// StartOffset is the earliest retained offset (reads below it fail).
+	StartOffset int64
+}
+
+// Fetch reads up to maxEvents events (and at most maxBytes payload bytes,
+// if > 0) from the partition starting at offset. identity is checked for
+// READ permission unless empty.
+func (f *Fabric) Fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int) (FetchResult, error) {
+	if identity != "" {
+		if err := f.ACL.Check(topic, identity, auth.PermRead); err != nil {
+			return FetchResult{}, err
+		}
+	}
+	l, err := f.leaderLog(topic, partition)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	evs, err := l.Read(offset, maxEvents)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if maxBytes > 0 {
+		total := 0
+		for i := range evs {
+			total += evs[i].Size()
+			if total > maxBytes && i > 0 {
+				evs = evs[:i]
+				break
+			}
+		}
+	}
+	f.Metrics.Counter("fabric.fetched").Add(int64(len(evs)))
+	return FetchResult{Events: evs, HighWatermark: l.EndOffset(), StartOffset: l.StartOffset()}, nil
+}
+
+func (f *Fabric) leaderLog(topic string, partition int) (*eventlog.Log, error) {
+	pm, err := f.Ctl.Partition(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	if pm.Leader < 0 {
+		return nil, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
+	}
+	leader, ok := f.Node(pm.Leader)
+	if !ok || leader.Down() {
+		return nil, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, topic, partition, pm.Leader)
+	}
+	meta, err := f.Ctl.Topic(topic)
+	if err != nil {
+		return nil, err
+	}
+	return leader.log(TP{Topic: topic, Partition: partition}, logConfig(meta.Config)), nil
+}
+
+// EndOffset returns the partition's end offset (the next offset to be
+// assigned), i.e. the "latest" consume position.
+func (f *Fabric) EndOffset(topic string, partition int) (int64, error) {
+	l, err := f.leaderLog(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return l.EndOffset(), nil
+}
+
+// StartOffset returns the earliest retained offset.
+func (f *Fabric) StartOffset(topic string, partition int) (int64, error) {
+	l, err := f.leaderLog(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return l.StartOffset(), nil
+}
+
+// OffsetForTime returns the first offset at or after t (§IV-F: consume
+// "after a certain timestamp").
+func (f *Fabric) OffsetForTime(topic string, partition int, t time.Time) (int64, error) {
+	l, err := f.leaderLog(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return l.OffsetForTime(t), nil
+}
+
+// PendingEvents returns the total backlog (end offset minus committed
+// group offset) across all partitions — the "processing pressure" the
+// trigger autoscaler evaluates (§IV-D).
+func (f *Fabric) PendingEvents(topic, group string) (int64, error) {
+	meta, err := f.Ctl.Topic(topic)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for p := 0; p < meta.Config.Partitions; p++ {
+		end, err := f.EndOffset(topic, p)
+		if err != nil {
+			continue // leaderless partitions contribute no backlog info
+		}
+		committed := f.Groups.Committed(group, topic, p)
+		if committed < 0 {
+			committed = 0
+		}
+		if end > committed {
+			total += end - committed
+		}
+	}
+	return total, nil
+}
+
+// EnforceRetention applies retention to every replica log; brokers run
+// this periodically. It returns total records deleted.
+func (f *Fabric) EnforceRetention() int {
+	now := f.Clock.Now()
+	f.mu.RLock()
+	nodes := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.RUnlock()
+	deleted := 0
+	for _, n := range nodes {
+		n.mu.RLock()
+		logs := make([]*eventlog.Log, 0, len(n.logs))
+		for _, l := range n.logs {
+			logs = append(logs, l)
+		}
+		n.mu.RUnlock()
+		for _, l := range logs {
+			deleted += l.EnforceRetention(now)
+		}
+	}
+	return deleted
+}
+
+// CompactAll runs key compaction on every compaction-enabled topic's
+// replica logs (the topic "cleanup policy" of §IV-F). It returns total
+// records removed.
+func (f *Fabric) CompactAll() int {
+	removed := 0
+	for _, topic := range f.Ctl.Topics() {
+		meta, err := f.Ctl.Topic(topic)
+		if err != nil || !meta.Config.Compact {
+			continue
+		}
+		for p := 0; p < meta.Config.Partitions; p++ {
+			for _, r := range meta.Partitions[p].Replicas {
+				n, ok := f.Node(r)
+				if !ok {
+					continue
+				}
+				if l, ok := n.existingLog(TP{Topic: topic, Partition: p}); ok {
+					removed += l.Compact()
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// StopBroker simulates a broker failure: the node stops serving, its
+// registry session expires, and the controller re-elects leaders.
+func (f *Fabric) StopBroker(id int) error {
+	n, ok := f.Node(id)
+	if !ok {
+		return fmt.Errorf("broker: unknown broker %d", id)
+	}
+	n.down.Store(true)
+	f.Reg.ExpireSession(n.session)
+	f.Ctl.HandleBrokerFailure(id)
+	f.Metrics.Counter("fabric.broker_failures").Inc()
+	return nil
+}
+
+// RestartBroker brings a stopped broker back: it catches its replicas up
+// from the current leaders, re-registers, and rejoins ISR sets.
+func (f *Fabric) RestartBroker(id int) error {
+	n, ok := f.Node(id)
+	if !ok {
+		return fmt.Errorf("broker: unknown broker %d", id)
+	}
+	if !n.Down() {
+		return nil
+	}
+	// Catch up every replica this node hosts from the current leader.
+	for _, topic := range f.Ctl.Topics() {
+		meta, err := f.Ctl.Topic(topic)
+		if err != nil {
+			continue
+		}
+		for _, pm := range meta.Partitions {
+			if !pm.HasReplica(id) || pm.Leader < 0 || pm.Leader == id {
+				continue
+			}
+			tp := TP{Topic: topic, Partition: pm.ID}
+			leader, ok := f.Node(pm.Leader)
+			if !ok || leader.Down() {
+				continue
+			}
+			src, ok := leader.existingLog(tp)
+			if !ok {
+				continue
+			}
+			dst := n.log(tp, logConfig(meta.Config))
+			from := dst.EndOffset()
+			if start := src.StartOffset(); from < start {
+				from = start
+			}
+			missing, err := src.Read(from, 1<<30)
+			if err != nil {
+				continue
+			}
+			if len(missing) > 0 {
+				if _, err := dst.AppendBatch(missing, f.Clock.Now()); err != nil {
+					return fmt.Errorf("broker: catch-up %s on %d: %w", tp, id, err)
+				}
+			}
+		}
+	}
+	sess, err := f.Ctl.RegisterBroker(n.Info)
+	if err != nil {
+		return err
+	}
+	n.session = sess
+	n.down.Store(false)
+	f.Ctl.HandleBrokerRecovery(id)
+	return nil
+}

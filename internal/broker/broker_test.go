@@ -1,0 +1,485 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auth"
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+func newFabric(t *testing.T, brokers int) *Fabric {
+	t.Helper()
+	f := NewFabric(nil)
+	if err := f.AddBrokers(brokers, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mkTopic(t *testing.T, f *Fabric, name string, parts, rf int) {
+	t.Helper()
+	if _, err := f.CreateTopic(name, "", cluster.TopicConfig{Partitions: parts, ReplicationFactor: rf}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evs(n int, prefix string) []event.Event {
+	out := make([]event.Event, n)
+	for i := range out {
+		out[i] = event.Event{Value: []byte(fmt.Sprintf("%s-%d", prefix, i))}
+	}
+	return out
+}
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	f := newFabric(t, 2)
+	mkTopic(t, f, "t", 1, 2)
+	base, err := f.Produce("", "t", 0, evs(10, "e"), AcksLeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0 {
+		t.Fatalf("base = %d", base)
+	}
+	res, err := f.Fetch("", "t", 0, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 10 || res.HighWatermark != 10 {
+		t.Fatalf("events = %d, hw = %d", len(res.Events), res.HighWatermark)
+	}
+	for i, e := range res.Events {
+		if e.Offset != int64(i) || e.Topic != "t" || e.Partition != 0 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestKeyedEventsStayOnOnePartition(t *testing.T) {
+	f := newFabric(t, 2)
+	mkTopic(t, f, "t", 4, 1)
+	batch := make([]event.Event, 20)
+	for i := range batch {
+		batch[i] = event.Event{Key: []byte("instrument-7"), Value: []byte(fmt.Sprintf("%d", i))}
+	}
+	if _, err := f.Produce("", "t", -1, batch, AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for p := 0; p < 4; p++ {
+		end, err := f.EndOffset("t", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end > 0 {
+			nonEmpty++
+			if end != 20 {
+				t.Fatalf("partition %d has %d events, want all 20", p, end)
+			}
+			// Order preserved within the partition.
+			res, _ := f.Fetch("", "t", p, 0, 100, 0)
+			for i, e := range res.Events {
+				if string(e.Value) != fmt.Sprintf("%d", i) {
+					t.Fatalf("order broken at %d: %s", i, e.Value)
+				}
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("keyed events landed on %d partitions", nonEmpty)
+	}
+}
+
+func TestUnkeyedEventsSpreadAcrossPartitions(t *testing.T) {
+	f := newFabric(t, 2)
+	mkTopic(t, f, "t", 4, 1)
+	if _, err := f.Produce("", "t", -1, evs(400, "e"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		end, _ := f.EndOffset("t", p)
+		if end == 0 {
+			t.Fatalf("partition %d got no events", p)
+		}
+	}
+}
+
+func TestProduceUnknownTopicAndPartition(t *testing.T) {
+	f := newFabric(t, 1)
+	if _, err := f.Produce("", "ghost", 0, evs(1, "e"), AcksLeader); err == nil {
+		t.Fatal("produce to missing topic succeeded")
+	}
+	mkTopic(t, f, "t", 2, 1)
+	if _, err := f.Produce("", "t", 7, evs(1, "e"), AcksLeader); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestACLEnforcement(t *testing.T) {
+	f := newFabric(t, 1)
+	if _, err := f.CreateTopic("secure", "owner-1", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner can produce and fetch.
+	if _, err := f.Produce("owner-1", "secure", 0, evs(1, "e"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fetch("owner-1", "secure", 0, 0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A stranger cannot.
+	if _, err := f.Produce("intruder", "secure", 0, evs(1, "e"), AcksLeader); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("produce: %v", err)
+	}
+	if _, err := f.Fetch("intruder", "secure", 0, 0, 10, 0); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("fetch: %v", err)
+	}
+	// Granting READ lets the stranger consume but not produce.
+	if err := f.ACL.Grant("secure", "intruder", auth.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fetch("intruder", "secure", 0, 0, 10, 0); err != nil {
+		t.Fatalf("fetch after grant: %v", err)
+	}
+	if _, err := f.Produce("intruder", "secure", 0, evs(1, "e"), AcksLeader); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("produce after read grant: %v", err)
+	}
+}
+
+func TestReplicationKeepsFollowersIdentical(t *testing.T) {
+	f := newFabric(t, 3)
+	mkTopic(t, f, "t", 1, 3)
+	if _, err := f.Produce("", "t", 0, evs(50, "e"), AcksAll); err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := f.Ctl.Partition("t", 0)
+	for _, r := range pm.Replicas {
+		n, _ := f.Node(r)
+		l, ok := n.existingLog(TP{Topic: "t", Partition: 0})
+		if !ok {
+			t.Fatalf("broker %d has no replica log", r)
+		}
+		if l.EndOffset() != 50 {
+			t.Fatalf("broker %d replica end = %d", r, l.EndOffset())
+		}
+	}
+}
+
+func TestLeaderFailoverPreservesEvents(t *testing.T) {
+	f := newFabric(t, 3)
+	mkTopic(t, f, "t", 1, 2)
+	if _, err := f.Produce("", "t", 0, evs(25, "before"), AcksAll); err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := f.Ctl.Partition("t", 0)
+	oldLeader := pm.Leader
+	if err := f.StopBroker(oldLeader); err != nil {
+		t.Fatal(err)
+	}
+	// New leader serves the full log.
+	res, err := f.Fetch("", "t", 0, 0, 100, 0)
+	if err != nil {
+		t.Fatalf("fetch after failover: %v", err)
+	}
+	if len(res.Events) != 25 {
+		t.Fatalf("events after failover = %d", len(res.Events))
+	}
+	// Produces keep working against the new leader.
+	if _, err := f.Produce("", "t", 0, evs(5, "after"), AcksLeader); err != nil {
+		t.Fatalf("produce after failover: %v", err)
+	}
+	pm2, _ := f.Ctl.Partition("t", 0)
+	if pm2.Leader == oldLeader {
+		t.Fatal("leader not re-elected")
+	}
+}
+
+func TestAcksAllRequiresISR(t *testing.T) {
+	f := newFabric(t, 2)
+	f.MinInsyncReplicas = 2
+	mkTopic(t, f, "t", 1, 2)
+	if _, err := f.Produce("", "t", 0, evs(1, "e"), AcksAll); err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := f.Ctl.Partition("t", 0)
+	// Stop the follower; ISR shrinks below MinInsyncReplicas.
+	follower := pm.Replicas[1]
+	if follower == pm.Leader {
+		follower = pm.Replicas[0]
+	}
+	if err := f.StopBroker(follower); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Produce("", "t", 0, evs(1, "e"), AcksAll); !errors.Is(err, ErrNotEnoughReplicas) {
+		t.Fatalf("err = %v", err)
+	}
+	// acks=1 still succeeds.
+	if _, err := f.Produce("", "t", 0, evs(1, "e"), AcksLeader); err != nil {
+		t.Fatalf("acks=1: %v", err)
+	}
+}
+
+func TestBrokerRestartCatchesUp(t *testing.T) {
+	f := newFabric(t, 2)
+	mkTopic(t, f, "t", 1, 2)
+	pm, _ := f.Ctl.Partition("t", 0)
+	follower := pm.Replicas[1]
+	if _, err := f.Produce("", "t", 0, evs(10, "a"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StopBroker(follower); err != nil {
+		t.Fatal(err)
+	}
+	// Events appended while the follower is down.
+	if _, err := f.Produce("", "t", 0, evs(10, "b"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestartBroker(follower); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := f.Node(follower)
+	l, ok := n.existingLog(TP{Topic: "t", Partition: 0})
+	if !ok || l.EndOffset() != 20 {
+		t.Fatalf("follower end = %v (ok=%v), want 20", l.EndOffset(), ok)
+	}
+	pm2, _ := f.Ctl.Partition("t", 0)
+	if !pm2.InISR(follower) {
+		t.Fatal("follower not back in ISR")
+	}
+}
+
+func TestTotalPartitionFailure(t *testing.T) {
+	f := newFabric(t, 1)
+	mkTopic(t, f, "t", 1, 1)
+	if _, err := f.Produce("", "t", 0, evs(3, "e"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StopBroker(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Produce("", "t", 0, evs(1, "e"), AcksLeader); !errors.Is(err, ErrLeaderUnavailable) {
+		t.Fatalf("produce: %v", err)
+	}
+	if _, err := f.Fetch("", "t", 0, 0, 10, 0); !errors.Is(err, ErrLeaderUnavailable) {
+		t.Fatalf("fetch: %v", err)
+	}
+	// Recovery restores service with all data.
+	if err := f.RestartBroker(0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Fetch("", "t", 0, 0, 10, 0)
+	if err != nil || len(res.Events) != 3 {
+		t.Fatalf("after restart: %d events, %v", len(res.Events), err)
+	}
+}
+
+func TestOffsetForTimeThroughFabric(t *testing.T) {
+	f := newFabric(t, 1)
+	mkTopic(t, f, "t", 1, 1)
+	if _, err := f.Produce("", "t", 0, evs(5, "e"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	off, err := f.OffsetForTime("t", 0, f.Clock.Now().Add(1e9))
+	if err != nil || off != 5 {
+		t.Fatalf("off = %d, %v", off, err)
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	f := newFabric(t, 1)
+	mkTopic(t, f, "t", 2, 1)
+	if _, err := f.Produce("", "t", -1, evs(100, "e"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := f.PendingEvents("t", "g")
+	if err != nil || pending != 100 {
+		t.Fatalf("pending = %d, %v", pending, err)
+	}
+	f.Groups.CommitDirect("g", "t", 0, 30)
+	end0, _ := f.EndOffset("t", 0)
+	pending, _ = f.PendingEvents("t", "g")
+	want := int64(100) - min64(30, end0)
+	if pending != want {
+		t.Fatalf("pending = %d, want %d", pending, want)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	f := newFabric(t, 2)
+	mkTopic(t, f, "t", 2, 2)
+	var wg sync.WaitGroup
+	const producers, each = 8, 100
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if _, err := f.Produce("", "t", -1, evs(1, fmt.Sprintf("p%d", id)), AcksLeader); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for p := 0; p < 2; p++ {
+		end, _ := f.EndOffset("t", p)
+		total += end
+	}
+	if total != producers*each {
+		t.Fatalf("total = %d, want %d", total, producers*each)
+	}
+}
+
+// Property: producing any batch then fetching returns payloads in
+// partition order with dense offsets.
+func TestProduceFetchProperty(t *testing.T) {
+	f := newFabric(t, 1)
+	mkTopic(t, f, "prop", 1, 1)
+	var produced int64
+	check := func(vals [][]byte) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		batch := make([]event.Event, len(vals))
+		for i, v := range vals {
+			batch[i] = event.Event{Value: v}
+		}
+		base, err := f.Produce("", "prop", 0, batch, AcksLeader)
+		if err != nil || base != produced {
+			return false
+		}
+		res, err := f.Fetch("", "prop", 0, base, len(vals), 0)
+		if err != nil || len(res.Events) != len(vals) {
+			return false
+		}
+		for i, e := range res.Events {
+			if e.Offset != base+int64(i) || string(e.Value) != string(vals[i]) {
+				return false
+			}
+		}
+		produced += int64(len(vals))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactAllOnCompactedTopic(t *testing.T) {
+	f := newFabric(t, 2)
+	if _, err := f.CreateTopic("state", "", cluster.TopicConfig{
+		Partitions: 1, ReplicationFactor: 2, Compact: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Many updates to few keys across several segments (segment size is
+	// 64 KiB default events; force rolling with big values).
+	big := make([]byte, 8<<10)
+	for round := 0; round < 3; round++ {
+		batch := make([]event.Event, 0, 200)
+		for i := 0; i < 200; i++ {
+			batch = append(batch, event.Event{Key: []byte(fmt.Sprintf("k%d", i%5)), Value: big})
+		}
+		if _, err := f.Produce("", "state", 0, batch, AcksLeader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := f.Fetch("", "state", 0, 0, 10000, 0)
+	removed := f.CompactAll()
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	after, err := f.Fetch("", "state", 0, 0, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Events) >= len(before.Events) {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", len(before.Events), len(after.Events))
+	}
+	// The latest value per key survives.
+	latest := map[string]int64{}
+	for _, ev := range after.Events {
+		latest[string(ev.Key)] = ev.Offset
+	}
+	if len(latest) != 5 {
+		t.Fatalf("keys after compaction = %d, want 5", len(latest))
+	}
+	// Non-compacted topics are untouched.
+	mkTopic(t, f, "plain", 1, 1)
+	if _, err := f.Produce("", "plain", 0, evs(10, "x"), AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.CompactAll(); n != 0 {
+		t.Fatalf("compacted a non-compacted topic: %d", n)
+	}
+}
+
+// Property: for any member count 1..8 over any partition count 1..32,
+// a full set of joins yields a disjoint, complete partition assignment.
+func TestGroupAssignmentCoverageProperty(t *testing.T) {
+	check := func(membersN, parts uint8) bool {
+		m := int(membersN)%8 + 1
+		p := int(parts)%32 + 1
+		f := NewFabric(nil)
+		if err := f.AddBrokers(1, 2, 8); err != nil {
+			return false
+		}
+		if _, err := f.CreateTopic("t", "", cluster.TopicConfig{Partitions: p, ReplicationFactor: 1}); err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if _, err := f.Groups.Join("g", fmt.Sprintf("m%02d", i), []string{"t"}); err != nil {
+				return false
+			}
+		}
+		// Final re-join of each member reads the final assignment.
+		seen := map[int]int{}
+		for i := 0; i < m; i++ {
+			asn, err := f.Groups.Join("g", fmt.Sprintf("m%02d", i), []string{"t"})
+			if err != nil {
+				return false
+			}
+			_ = asn
+		}
+		// After the last join, fetch assignments via one more round
+		// (membership unchanged => assignment stable per generation).
+		for i := 0; i < m; i++ {
+			asn, err := f.Groups.Join("g", fmt.Sprintf("m%02d", i), []string{"t"})
+			if err != nil {
+				return false
+			}
+			for _, tp := range asn.Partitions {
+				seen[tp.Partition]++
+			}
+		}
+		// The m joins above each bump the generation, but with fixed
+		// membership range assignment is deterministic: every partition
+		// appears exactly once per full round.
+		if len(seen) != p {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coordinator manages consumer groups: membership, generation-numbered
+// rebalances with range assignment, and committed offsets. Committed
+// offsets give the at-least-once delivery guarantee of §IV-F: a consumer
+// that crashes resumes from its last commit and may re-see events.
+type Coordinator struct {
+	fabric *Fabric
+
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+// ErrStaleGeneration reports a commit from a member that missed a
+// rebalance and must rejoin.
+var ErrStaleGeneration = errors.New("broker: stale group generation")
+
+// ErrUnknownMember reports an operation by a member not in the group.
+var ErrUnknownMember = errors.New("broker: unknown group member")
+
+type group struct {
+	generation  int
+	members     map[string][]string // memberID -> subscribed topics
+	assignments map[string][]TP     // memberID -> assigned partitions
+	offsets     map[TP]int64
+}
+
+// NewCoordinator creates the group coordinator for a fabric.
+func NewCoordinator(f *Fabric) *Coordinator {
+	return &Coordinator{fabric: f, groups: make(map[string]*group)}
+}
+
+// Assignment is the result of joining a group.
+type Assignment struct {
+	Generation int
+	Partitions []TP
+}
+
+// Join adds (or re-subscribes) a member and rebalances. Every member's
+// assignment changes generation; members discover this on their next
+// Heartbeat or commit and call Join again to pick up the new assignment.
+func (c *Coordinator) Join(groupID, memberID string, topics []string) (Assignment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		g = &group{
+			members:     make(map[string][]string),
+			assignments: make(map[string][]TP),
+			offsets:     make(map[TP]int64),
+		}
+		c.groups[groupID] = g
+	}
+	g.members[memberID] = append([]string(nil), topics...)
+	if err := c.rebalanceLocked(g); err != nil {
+		return Assignment{}, err
+	}
+	return Assignment{Generation: g.generation, Partitions: append([]TP(nil), g.assignments[memberID]...)}, nil
+}
+
+// Leave removes a member and rebalances the remainder.
+func (c *Coordinator) Leave(groupID, memberID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return
+	}
+	delete(g.members, memberID)
+	delete(g.assignments, memberID)
+	_ = c.rebalanceLocked(g)
+}
+
+// rebalanceLocked performs range assignment: for each subscribed topic,
+// partitions are split into contiguous ranges across the sorted members
+// subscribed to it.
+func (c *Coordinator) rebalanceLocked(g *group) error {
+	g.generation++
+	for m := range g.assignments {
+		g.assignments[m] = nil
+	}
+	// topic -> sorted members subscribed to it
+	byTopic := make(map[string][]string)
+	for m, topics := range g.members {
+		for _, t := range topics {
+			byTopic[t] = append(byTopic[t], m)
+		}
+	}
+	for topic, members := range byTopic {
+		sort.Strings(members)
+		meta, err := c.fabric.Ctl.Topic(topic)
+		if err != nil {
+			return fmt.Errorf("broker: rebalance: %w", err)
+		}
+		parts := meta.Config.Partitions
+		n := len(members)
+		per := parts / n
+		extra := parts % n
+		p := 0
+		for i, m := range members {
+			count := per
+			if i < extra {
+				count++
+			}
+			for j := 0; j < count; j++ {
+				g.assignments[m] = append(g.assignments[m], TP{Topic: topic, Partition: p})
+				p++
+			}
+		}
+	}
+	return nil
+}
+
+// Heartbeat returns the current generation; a member comparing it to its
+// joined generation learns whether it must rejoin.
+func (c *Coordinator) Heartbeat(groupID, memberID string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return 0, fmt.Errorf("%w: group %s", ErrUnknownMember, groupID)
+	}
+	if _, ok := g.members[memberID]; !ok {
+		return 0, fmt.Errorf("%w: %s in %s", ErrUnknownMember, memberID, groupID)
+	}
+	return g.generation, nil
+}
+
+// Commit records a member's consumed position (the offset of the next
+// event to read). Commits from stale generations are rejected so a
+// rebalanced-away member cannot clobber the new owner's progress.
+func (c *Coordinator) Commit(groupID, memberID string, generation int, topic string, partition int, offset int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: group %s", ErrUnknownMember, groupID)
+	}
+	if _, ok := g.members[memberID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, memberID)
+	}
+	if generation != g.generation {
+		return fmt.Errorf("%w: have %d want %d", ErrStaleGeneration, generation, g.generation)
+	}
+	tp := TP{Topic: topic, Partition: partition}
+	if cur, ok := g.offsets[tp]; !ok || offset > cur {
+		g.offsets[tp] = offset
+	}
+	return nil
+}
+
+// CommitDirect records an offset without membership checks, used by
+// managed components (triggers) that own their group exclusively.
+func (c *Coordinator) CommitDirect(groupID, topic string, partition int, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		g = &group{
+			members:     make(map[string][]string),
+			assignments: make(map[string][]TP),
+			offsets:     make(map[TP]int64),
+		}
+		c.groups[groupID] = g
+	}
+	tp := TP{Topic: topic, Partition: partition}
+	if cur, ok := g.offsets[tp]; !ok || offset > cur {
+		g.offsets[tp] = offset
+	}
+}
+
+// Committed returns the committed offset for the partition, or -1 if the
+// group has no commit there (the consumer then starts from its
+// configured auto-offset-reset position).
+func (c *Coordinator) Committed(groupID, topic string, partition int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return -1
+	}
+	off, ok := g.offsets[TP{Topic: topic, Partition: partition}]
+	if !ok {
+		return -1
+	}
+	return off
+}
+
+// Members returns the sorted member ids of a group.
+func (c *Coordinator) Members(groupID string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(g.members))
+	for m := range g.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generation returns the group's current generation (0 if absent).
+func (c *Coordinator) Generation(groupID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return 0
+	}
+	return g.generation
+}

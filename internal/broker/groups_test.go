@@ -1,0 +1,191 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func groupFabric(t *testing.T) *Fabric {
+	t.Helper()
+	f := NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("t", "", cluster.TopicConfig{Partitions: 6, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSingleMemberGetsAllPartitions(t *testing.T) {
+	f := groupFabric(t)
+	asn, err := f.Groups.Join("g", "m1", []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Partitions) != 6 {
+		t.Fatalf("assigned = %v", asn.Partitions)
+	}
+	if asn.Generation != 1 {
+		t.Fatalf("generation = %d", asn.Generation)
+	}
+}
+
+func TestRangeAssignmentSplitsEvenly(t *testing.T) {
+	f := groupFabric(t)
+	if _, err := f.Groups.Join("g", "m1", []string{"t"}); err != nil {
+		t.Fatal(err)
+	}
+	asn2, err := f.Groups.Join("g", "m2", []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn2.Partitions) != 3 {
+		t.Fatalf("m2 assigned = %v", asn2.Partitions)
+	}
+	// Re-join as m1 to observe its new assignment.
+	asn1, err := f.Groups.Join("g", "m1", []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, tp := range append(asn1.Partitions, asn2.Partitions...) {
+		if seen[tp.Partition] {
+			t.Fatalf("partition %d assigned twice", tp.Partition)
+		}
+		seen[tp.Partition] = true
+	}
+	// Note: asn2 reflects generation 2; m1's re-join bumped to 3, but
+	// partition sets for 2 members of 6 partitions remain disjoint and
+	// complete across generations with the same membership.
+	if len(seen) != 6 {
+		t.Fatalf("coverage = %v", seen)
+	}
+}
+
+func TestUnevenPartitionSplit(t *testing.T) {
+	f := NewFabric(nil)
+	if err := f.AddBrokers(1, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("odd", "", cluster.TopicConfig{Partitions: 7, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Groups.Join("g", "a", []string{"odd"})
+	_, _ = f.Groups.Join("g", "b", []string{"odd"})
+	asnA, _ := f.Groups.Join("g", "a", []string{"odd"})
+	asnB, _ := f.Groups.Join("g", "b", []string{"odd"})
+	if len(asnA.Partitions)+len(asnB.Partitions) != 7 {
+		t.Fatalf("split = %d + %d", len(asnA.Partitions), len(asnB.Partitions))
+	}
+	diff := len(asnA.Partitions) - len(asnB.Partitions)
+	if diff < -1 || diff > 1 {
+		t.Fatalf("unbalanced: %d vs %d", len(asnA.Partitions), len(asnB.Partitions))
+	}
+}
+
+func TestLeaveRebalances(t *testing.T) {
+	f := groupFabric(t)
+	_, _ = f.Groups.Join("g", "m1", []string{"t"})
+	_, _ = f.Groups.Join("g", "m2", []string{"t"})
+	f.Groups.Leave("g", "m2")
+	asn, err := f.Groups.Join("g", "m1", []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Partitions) != 6 {
+		t.Fatalf("m1 after leave = %v", asn.Partitions)
+	}
+	if members := f.Groups.Members("g"); len(members) != 1 || members[0] != "m1" {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestCommitAndCommitted(t *testing.T) {
+	f := groupFabric(t)
+	asn, _ := f.Groups.Join("g", "m1", []string{"t"})
+	if err := f.Groups.Commit("g", "m1", asn.Generation, "t", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if off := f.Groups.Committed("g", "t", 0); off != 42 {
+		t.Fatalf("committed = %d", off)
+	}
+	if off := f.Groups.Committed("g", "t", 1); off != -1 {
+		t.Fatalf("uncommitted = %d, want -1", off)
+	}
+	if off := f.Groups.Committed("nogroup", "t", 0); off != -1 {
+		t.Fatalf("missing group = %d, want -1", off)
+	}
+}
+
+func TestCommitNeverRegresses(t *testing.T) {
+	f := groupFabric(t)
+	asn, _ := f.Groups.Join("g", "m1", []string{"t"})
+	_ = f.Groups.Commit("g", "m1", asn.Generation, "t", 0, 100)
+	_ = f.Groups.Commit("g", "m1", asn.Generation, "t", 0, 50)
+	if off := f.Groups.Committed("g", "t", 0); off != 100 {
+		t.Fatalf("committed regressed to %d", off)
+	}
+}
+
+func TestStaleGenerationCommitRejected(t *testing.T) {
+	f := groupFabric(t)
+	asn, _ := f.Groups.Join("g", "m1", []string{"t"})
+	_, _ = f.Groups.Join("g", "m2", []string{"t"}) // bumps generation
+	err := f.Groups.Commit("g", "m1", asn.Generation, "t", 0, 10)
+	if !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommitUnknownMember(t *testing.T) {
+	f := groupFabric(t)
+	_, _ = f.Groups.Join("g", "m1", []string{"t"})
+	if err := f.Groups.Commit("g", "ghost", 1, "t", 0, 1); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := f.Groups.Commit("nogroup", "m", 1, "t", 0, 1); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHeartbeatDetectsRebalance(t *testing.T) {
+	f := groupFabric(t)
+	asn, _ := f.Groups.Join("g", "m1", []string{"t"})
+	gen, err := f.Groups.Heartbeat("g", "m1")
+	if err != nil || gen != asn.Generation {
+		t.Fatalf("gen = %d, %v", gen, err)
+	}
+	_, _ = f.Groups.Join("g", "m2", []string{"t"})
+	gen, _ = f.Groups.Heartbeat("g", "m1")
+	if gen == asn.Generation {
+		t.Fatal("generation did not advance on rebalance")
+	}
+	if _, err := f.Groups.Heartbeat("g", "ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("ghost heartbeat: %v", err)
+	}
+}
+
+func TestCommitDirectCreatesGroup(t *testing.T) {
+	f := groupFabric(t)
+	f.Groups.CommitDirect("trigger-g", "t", 3, 77)
+	if off := f.Groups.Committed("trigger-g", "t", 3); off != 77 {
+		t.Fatalf("committed = %d", off)
+	}
+}
+
+func TestMultiTopicSubscription(t *testing.T) {
+	f := groupFabric(t)
+	if _, err := f.CreateTopic("t2", "", cluster.TopicConfig{Partitions: 2, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	asn, err := f.Groups.Join("g", "m1", []string{"t", "t2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Partitions) != 8 {
+		t.Fatalf("assigned = %v", asn.Partitions)
+	}
+}

@@ -1,0 +1,120 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Per-identity rate limiting, the cost-control mechanism of §VII-C:
+// "The Octopus service can rate limit invocations on a per-identity
+// basis". Limits are token buckets over produced events; a produce that
+// would exceed the bucket is rejected with ErrRateLimited, which the
+// SDK treats as retryable so well-behaved producers back off rather
+// than drop events.
+
+// ErrRateLimited reports a produce rejected by an identity's quota.
+var ErrRateLimited error = rateLimitedError{}
+
+type rateLimitedError struct{}
+
+func (rateLimitedError) Error() string   { return "broker: identity rate limit exceeded" }
+func (rateLimitedError) Temporary() bool { return true }
+
+// rateLimiter is a token bucket: capacity = burst events, refilled at
+// eventsPerSec.
+type rateLimiter struct {
+	mu           sync.Mutex
+	eventsPerSec float64
+	burst        float64
+	tokens       float64
+	last         time.Time
+}
+
+func (r *rateLimiter) allow(now time.Time, n int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.last.IsZero() {
+		r.last = now
+		r.tokens = r.burst
+	}
+	elapsed := now.Sub(r.last).Seconds()
+	if elapsed > 0 {
+		r.tokens += elapsed * r.eventsPerSec
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		r.last = now
+	}
+	if float64(n) > r.tokens {
+		return false
+	}
+	r.tokens -= float64(n)
+	return true
+}
+
+// Quotas manages per-identity produce limits for a fabric.
+type Quotas struct {
+	mu       sync.Mutex
+	clock    vclock.Clock
+	limiters map[string]*rateLimiter
+}
+
+// NewQuotas creates an empty quota table.
+func NewQuotas(clock vclock.Clock) *Quotas {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Quotas{clock: clock, limiters: make(map[string]*rateLimiter)}
+}
+
+// SetLimit installs (or replaces) an identity's produce quota. burst of
+// 0 defaults to one second's worth of events. A non-positive
+// eventsPerSec removes the limit.
+func (q *Quotas) SetLimit(identity string, eventsPerSec float64, burst int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if eventsPerSec <= 0 {
+		delete(q.limiters, identity)
+		return
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = eventsPerSec
+	}
+	q.limiters[identity] = &rateLimiter{eventsPerSec: eventsPerSec, burst: b}
+}
+
+// Limit returns the identity's configured rate, or 0 if unlimited.
+func (q *Quotas) Limit(identity string) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l, ok := q.limiters[identity]; ok {
+		return l.eventsPerSec
+	}
+	return 0
+}
+
+// Admit charges n events against the identity's quota; unlimited
+// identities always pass.
+func (q *Quotas) Admit(identity string, n int) error {
+	if identity == "" {
+		return nil // trusted in-process callers are not metered
+	}
+	q.mu.Lock()
+	l, ok := q.limiters[identity]
+	q.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if !l.allow(q.clock.Now(), n) {
+		return fmt.Errorf("%w: %s", ErrRateLimited, identity)
+	}
+	return nil
+}
+
+// IsRateLimited reports whether err is a quota rejection.
+func IsRateLimited(err error) bool { return errors.Is(err, ErrRateLimited) }

@@ -1,0 +1,318 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/event"
+	"repro/internal/vclock"
+)
+
+// StartPosition selects where a consumer without a committed offset
+// begins (§IV-F: "consumers can consume messages either from the latest
+// or the earliest offset, or after a certain timestamp").
+type StartPosition int
+
+// Start positions.
+const (
+	// StartLatest begins at the partition end (only new events).
+	StartLatest StartPosition = iota
+	// StartEarliest begins at the earliest retained offset.
+	StartEarliest
+	// StartAtTime begins at the first event at or after StartTime.
+	StartAtTime
+)
+
+// ConsumerConfig tunes the SDK consumer.
+type ConsumerConfig struct {
+	// Identity is the consuming principal (empty = trusted in-process).
+	Identity string
+	// Group enables coordinated consumption; empty means standalone
+	// (the caller assigns partitions with Assign).
+	Group string
+	// MemberID identifies this consumer in the group (auto if empty).
+	MemberID string
+	// Start selects the initial position without a commit.
+	Start StartPosition
+	// StartTime is used with StartAtTime.
+	StartTime time.Time
+	// MaxPollEvents bounds one Poll (default 500).
+	MaxPollEvents int
+	// ReceiveBufferBytes bounds bytes per partition fetch (default 2 MB,
+	// the paper's tuned receive.buffer.bytes).
+	ReceiveBufferBytes int
+	// AutoCommit commits positions after each Poll when true
+	// (default behavior; §IV-F "consumers periodically commit").
+	AutoCommit bool
+	// CommitInterval throttles auto-commits: positions commit at most
+	// once per interval (§IV-F: "the commit window is adjustable").
+	// Zero commits on every poll.
+	CommitInterval time.Duration
+	// Clock supplies time (default real).
+	Clock vclock.Clock
+}
+
+func (c *ConsumerConfig) fill() {
+	if c.MaxPollEvents == 0 {
+		c.MaxPollEvents = 500
+	}
+	if c.ReceiveBufferBytes == 0 {
+		c.ReceiveBufferBytes = 2 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+}
+
+// ErrConsumerClosed reports use of a closed consumer.
+var ErrConsumerClosed = errors.New("client: consumer closed")
+
+var memberSeq struct {
+	mu sync.Mutex
+	n  int
+}
+
+func nextMemberID() string {
+	memberSeq.mu.Lock()
+	defer memberSeq.mu.Unlock()
+	memberSeq.n++
+	return fmt.Sprintf("member-%d", memberSeq.n)
+}
+
+// Consumer reads events from assigned partitions, tracking per-partition
+// positions, rejoining on rebalance, and committing offsets for
+// at-least-once delivery.
+type Consumer struct {
+	t   Transport
+	cfg ConsumerConfig
+
+	mu         sync.Mutex
+	topics     []string
+	assigned   []broker.TP
+	positions  map[broker.TP]int64
+	generation int
+	rr         int // round-robin cursor over assigned partitions
+	lastCommit time.Time
+	closed     bool
+}
+
+// NewConsumer creates a consumer. With cfg.Group set, call Subscribe;
+// otherwise call Assign.
+func NewConsumer(t Transport, cfg ConsumerConfig) *Consumer {
+	cfg.fill()
+	if cfg.Group != "" && cfg.MemberID == "" {
+		cfg.MemberID = nextMemberID()
+	}
+	return &Consumer{t: t, cfg: cfg, positions: make(map[broker.TP]int64)}
+}
+
+// Subscribe joins the configured group for the topics and adopts the
+// coordinator's assignment.
+func (c *Consumer) Subscribe(topics ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConsumerClosed
+	}
+	if c.cfg.Group == "" {
+		return errors.New("client: Subscribe requires a group; use Assign for standalone consumers")
+	}
+	c.topics = append([]string(nil), topics...)
+	return c.rejoinLocked()
+}
+
+func (c *Consumer) rejoinLocked() error {
+	asn, err := c.t.JoinGroup(c.cfg.Group, c.cfg.MemberID, c.topics)
+	if err != nil {
+		return err
+	}
+	c.generation = asn.Generation
+	c.assigned = asn.Partitions
+	// Reset positions: committed offsets win, else the start policy.
+	c.positions = make(map[broker.TP]int64, len(c.assigned))
+	for _, tp := range c.assigned {
+		if off := c.t.Committed(c.cfg.Group, tp.Topic, tp.Partition); off >= 0 {
+			c.positions[tp] = off
+			continue
+		}
+		off, err := c.startOffsetFor(tp)
+		if err != nil {
+			return err
+		}
+		c.positions[tp] = off
+	}
+	return nil
+}
+
+// Assign sets explicit partitions for a standalone consumer.
+func (c *Consumer) Assign(topic string, partitions ...int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConsumerClosed
+	}
+	for _, p := range partitions {
+		tp := broker.TP{Topic: topic, Partition: p}
+		c.assigned = append(c.assigned, tp)
+		off, err := c.startOffsetFor(tp)
+		if err != nil {
+			return err
+		}
+		c.positions[tp] = off
+	}
+	return nil
+}
+
+func (c *Consumer) startOffsetFor(tp broker.TP) (int64, error) {
+	switch c.cfg.Start {
+	case StartEarliest:
+		return c.t.StartOffset(tp.Topic, tp.Partition)
+	case StartAtTime:
+		return c.t.OffsetForTime(tp.Topic, tp.Partition, c.cfg.StartTime)
+	default:
+		return c.t.EndOffset(tp.Topic, tp.Partition)
+	}
+}
+
+// Seek moves the position of an assigned partition.
+func (c *Consumer) Seek(topic string, partition int, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.positions[broker.TP{Topic: topic, Partition: partition}] = offset
+}
+
+// Assignment returns the currently assigned partitions.
+func (c *Consumer) Assignment() []broker.TP {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]broker.TP(nil), c.assigned...)
+}
+
+// Poll fetches up to max events (cfg.MaxPollEvents if max <= 0) across
+// assigned partitions, advancing positions. It returns immediately with
+// whatever is available, possibly nothing. On a group rebalance the
+// consumer transparently rejoins and retries once.
+func (c *Consumer) Poll(max int) ([]event.Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConsumerClosed
+	}
+	if max <= 0 {
+		max = c.cfg.MaxPollEvents
+	}
+	evs, err := c.pollLocked(max)
+	if err == nil && c.cfg.Group != "" && c.cfg.AutoCommit {
+		now := c.cfg.Clock.Now()
+		if c.cfg.CommitInterval <= 0 || now.Sub(c.lastCommit) >= c.cfg.CommitInterval {
+			cerr := c.commitLocked()
+			if cerr == nil {
+				c.lastCommit = now
+			} else if errors.Is(cerr, broker.ErrStaleGeneration) {
+				if rerr := c.rejoinLocked(); rerr != nil {
+					return evs, rerr
+				}
+			}
+		}
+	}
+	return evs, err
+}
+
+func (c *Consumer) pollLocked(max int) ([]event.Event, error) {
+	var out []event.Event
+	n := len(c.assigned)
+	for i := 0; i < n && len(out) < max; i++ {
+		tp := c.assigned[(c.rr+i)%n]
+		pos := c.positions[tp]
+		res, err := c.t.Fetch(c.cfg.Identity, tp.Topic, tp.Partition, pos, max-len(out), c.cfg.ReceiveBufferBytes)
+		if err != nil {
+			if errors.Is(err, broker.ErrLeaderUnavailable) {
+				continue // partition failing over; try again next poll
+			}
+			// Position below retention start: jump forward.
+			if res2, serr := c.recoverOutOfRange(tp, err); serr == nil {
+				res = res2
+			} else {
+				return out, err
+			}
+		}
+		out = append(out, res.Events...)
+		if len(res.Events) > 0 {
+			last := res.Events[len(res.Events)-1]
+			c.positions[tp] = last.Offset + 1
+		}
+	}
+	if n > 0 {
+		c.rr = (c.rr + 1) % n
+	}
+	return out, nil
+}
+
+func (c *Consumer) recoverOutOfRange(tp broker.TP, err error) (broker.FetchResult, error) {
+	start, serr := c.t.StartOffset(tp.Topic, tp.Partition)
+	if serr != nil || c.positions[tp] >= start {
+		return broker.FetchResult{}, err
+	}
+	c.positions[tp] = start
+	return c.t.Fetch(c.cfg.Identity, tp.Topic, tp.Partition, start, c.cfg.MaxPollEvents, c.cfg.ReceiveBufferBytes)
+}
+
+// Commit records current positions with the coordinator (§IV-F:
+// "consumers can manually invoke the commit API").
+func (c *Consumer) Commit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commitLocked()
+}
+
+func (c *Consumer) commitLocked() error {
+	if c.cfg.Group == "" {
+		return nil
+	}
+	for tp, off := range c.positions {
+		if err := c.t.Commit(c.cfg.Group, c.cfg.MemberID, c.generation, tp.Topic, tp.Partition, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lag returns the total unconsumed backlog across assigned partitions.
+func (c *Consumer) Lag() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lag int64
+	for _, tp := range c.assigned {
+		end, err := c.t.EndOffset(tp.Topic, tp.Partition)
+		if err != nil {
+			return 0, err
+		}
+		if d := end - c.positions[tp]; d > 0 {
+			lag += d
+		}
+	}
+	return lag, nil
+}
+
+// Close leaves the group and marks the consumer unusable.
+func (c *Consumer) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if c.cfg.Group != "" {
+		if c.cfg.AutoCommit {
+			// Best-effort final commit; the group may already have
+			// rebalanced, in which case the next owner resumes from the
+			// previous commit (at-least-once).
+			_ = c.commitLocked()
+		}
+		c.t.LeaveGroup(c.cfg.Group, c.cfg.MemberID)
+	}
+	c.closed = true
+	return nil
+}

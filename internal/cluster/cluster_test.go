@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/zk"
+)
+
+func newCtl(t *testing.T, brokers int) (*Controller, *zk.Registry, []int64) {
+	t.Helper()
+	reg := zk.NewRegistry()
+	c := NewController(reg, nil)
+	var sessions []int64
+	for i := 0; i < brokers; i++ {
+		s, err := c.RegisterBroker(BrokerInfo{ID: i, VCPUs: 2, MemGB: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	return c, reg, sessions
+}
+
+func TestRegisterAndListBrokers(t *testing.T) {
+	c, _, _ := newCtl(t, 3)
+	ids := c.LiveBrokers()
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("brokers = %v", ids)
+	}
+	info, err := c.BrokerInfo(1)
+	if err != nil || info.VCPUs != 2 {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+}
+
+func TestCreateTopicAssignsReplicas(t *testing.T) {
+	c, _, _ := newCtl(t, 4)
+	meta, err := c.CreateTopic("instrument-data", "alice", TopicConfig{Partitions: 4, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Partitions) != 4 {
+		t.Fatalf("partitions = %d", len(meta.Partitions))
+	}
+	leaders := map[int]int{}
+	for _, p := range meta.Partitions {
+		if len(p.Replicas) != 2 {
+			t.Fatalf("rf = %d", len(p.Replicas))
+		}
+		if p.Leader != p.Replicas[0] {
+			t.Fatalf("leader %d not first replica %v", p.Leader, p.Replicas)
+		}
+		if len(p.ISR) != 2 {
+			t.Fatalf("isr = %v", p.ISR)
+		}
+		leaders[p.Leader]++
+	}
+	// Leaders spread across all four brokers.
+	if len(leaders) != 4 {
+		t.Fatalf("leader spread = %v", leaders)
+	}
+}
+
+func TestCreateTopicIdempotentForOwner(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	m1, err := c.CreateTopic("t", "alice", TopicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.CreateTopic("t", "alice", TopicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.CreatedAt.Equal(m2.CreatedAt) {
+		t.Fatal("retry returned a different topic")
+	}
+	if _, err := c.CreateTopic("t", "mallory", TopicConfig{}); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("foreign create: %v", err)
+	}
+}
+
+func TestCreateTopicDefaults(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	meta, err := c.CreateTopic("t", "u", TopicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := meta.Config
+	if cfg.Partitions != 2 || cfg.ReplicationFactor != 2 || cfg.Retention != 7*24*time.Hour {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestCreateTopicClampsRFToBrokers(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	meta, err := c.CreateTopic("t", "u", TopicConfig{ReplicationFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Config.ReplicationFactor != 2 {
+		t.Fatalf("rf = %d", meta.Config.ReplicationFactor)
+	}
+}
+
+func TestCreateTopicNoBrokers(t *testing.T) {
+	c := NewController(zk.NewRegistry(), nil)
+	if _, err := c.CreateTopic("t", "u", TopicConfig{}); !errors.Is(err, ErrNoBrokers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetPartitionsGrowOnly(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	if _, err := c.CreateTopic("t", "u", TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.SetPartitions("t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Config.Partitions != 4 || len(meta.Partitions) != 4 {
+		t.Fatalf("partitions = %d/%d", meta.Config.Partitions, len(meta.Partitions))
+	}
+	if _, err := c.SetPartitions("t", 2); !errors.Is(err, ErrShrinkPartitions) {
+		t.Fatalf("shrink: %v", err)
+	}
+	// Same count is a no-op.
+	if _, err := c.SetPartitions("t", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetConfig(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	if _, err := c.CreateTopic("t", "u", TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := c.SetConfig("t", TopicConfig{Retention: time.Hour, Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Config.Retention != time.Hour || !meta.Config.Compact {
+		t.Fatalf("config = %+v", meta.Config)
+	}
+	// Partition count untouched.
+	if meta.Config.Partitions != 2 {
+		t.Fatalf("partitions changed: %d", meta.Config.Partitions)
+	}
+}
+
+func TestTopicsAndDelete(t *testing.T) {
+	c, _, _ := newCtl(t, 1)
+	_, _ = c.CreateTopic("b", "u", TopicConfig{})
+	_, _ = c.CreateTopic("a", "u", TopicConfig{})
+	topics := c.Topics()
+	if len(topics) != 2 || topics[0] != "a" {
+		t.Fatalf("topics = %v", topics)
+	}
+	if err := c.DeleteTopic("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Topic("a"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("deleted topic: %v", err)
+	}
+	if err := c.DeleteTopic("ghost"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestPartitionLookup(t *testing.T) {
+	c, _, _ := newCtl(t, 2)
+	_, _ = c.CreateTopic("t", "u", TopicConfig{Partitions: 3})
+	pm, err := c.Partition("t", 2)
+	if err != nil || pm.ID != 2 || pm.Topic != "t" {
+		t.Fatalf("pm = %+v, %v", pm, err)
+	}
+	if _, err := c.Partition("t", 9); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestBrokerFailureElectsNewLeader(t *testing.T) {
+	c, reg, sessions := newCtl(t, 3)
+	meta, err := c.CreateTopic("t", "u", TopicConfig{Partitions: 3, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := meta.Partitions[0].Leader
+	// Expire the victim's session (ephemeral node removal) then fail over.
+	reg.ExpireSession(sessions[victim])
+	changed := c.HandleBrokerFailure(victim)
+	if len(changed) == 0 {
+		t.Fatal("no partitions changed")
+	}
+	after, _ := c.Topic("t")
+	for _, p := range after.Partitions {
+		if p.Leader == victim {
+			t.Fatalf("partition %d still led by failed broker", p.ID)
+		}
+		for _, r := range p.ISR {
+			if r == victim {
+				t.Fatalf("failed broker still in ISR of %d", p.ID)
+			}
+		}
+	}
+}
+
+func TestBrokerRecoveryRejoinsISR(t *testing.T) {
+	c, reg, sessions := newCtl(t, 2)
+	meta, _ := c.CreateTopic("t", "u", TopicConfig{Partitions: 2, ReplicationFactor: 2})
+	victim := meta.Partitions[0].Leader
+	reg.ExpireSession(sessions[victim])
+	c.HandleBrokerFailure(victim)
+	// Re-register and recover.
+	if _, err := c.RegisterBroker(BrokerInfo{ID: victim, VCPUs: 2, MemGB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	c.HandleBrokerRecovery(victim)
+	after, _ := c.Topic("t")
+	for _, p := range after.Partitions {
+		if p.Leader < 0 {
+			t.Fatalf("partition %d leaderless after recovery", p.ID)
+		}
+		if p.HasReplica(victim) && !p.InISR(victim) {
+			t.Fatalf("recovered broker missing from ISR of %d", p.ID)
+		}
+	}
+}
+
+func TestTotalFailureLeavesLeaderless(t *testing.T) {
+	c, reg, sessions := newCtl(t, 1)
+	_, err := c.CreateTopic("t", "u", TopicConfig{Partitions: 1, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.ExpireSession(sessions[0])
+	c.HandleBrokerFailure(0)
+	meta, _ := c.Topic("t")
+	if meta.Partitions[0].Leader != -1 {
+		t.Fatalf("leader = %d, want -1", meta.Partitions[0].Leader)
+	}
+}
+
+func TestPartitionMetaHelpers(t *testing.T) {
+	p := PartitionMeta{Replicas: []int{1, 3}, ISR: []int{3}}
+	if !p.HasReplica(1) || p.HasReplica(2) {
+		t.Fatal("HasReplica wrong")
+	}
+	if p.InISR(1) || !p.InISR(3) {
+		t.Fatal("InISR wrong")
+	}
+}

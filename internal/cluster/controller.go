@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/vclock"
+	"repro/internal/zk"
+)
+
+// Controller is the cluster's single control-plane authority, the role
+// the MSK control plane plus ZooKeeper play in the paper. It serializes
+// topic creation, partition assignment and leader election, persisting
+// everything in the registry so brokers (and the web service) observe a
+// consistent view.
+type Controller struct {
+	mu    sync.Mutex
+	reg   *zk.Registry
+	clock vclock.Clock
+	// rr rotates the starting broker for partition assignment so load
+	// spreads across the cluster as topics are created.
+	rr int
+}
+
+// NewController creates a controller over the registry.
+func NewController(reg *zk.Registry, clock vclock.Clock) *Controller {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Controller{reg: reg, clock: clock}
+}
+
+func brokerPath(id int) string     { return "/brokers/" + strconv.Itoa(id) }
+func topicPath(name string) string { return "/topics/" + name }
+
+// RegisterBroker records a live broker under an ephemeral node bound to
+// the returned session. Expiring the session simulates broker failure.
+func (c *Controller) RegisterBroker(info BrokerInfo) (int64, error) {
+	data, err := json.Marshal(info)
+	if err != nil {
+		return 0, err
+	}
+	sess := c.reg.NewSession()
+	if err := c.reg.CreateEphemeral(brokerPath(info.ID), data, sess); err != nil {
+		return 0, fmt.Errorf("cluster: register broker %d: %w", info.ID, err)
+	}
+	return sess, nil
+}
+
+// LiveBrokers returns the sorted ids of registered brokers.
+func (c *Controller) LiveBrokers() []int {
+	names := c.reg.Children("/brokers")
+	ids := make([]int, 0, len(names))
+	for _, n := range names {
+		if id, err := strconv.Atoi(n); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// BrokerInfo returns a registered broker's description.
+func (c *Controller) BrokerInfo(id int) (BrokerInfo, error) {
+	data, _, err := c.reg.Get(brokerPath(id))
+	if err != nil {
+		return BrokerInfo{}, fmt.Errorf("cluster: broker %d: %w", id, err)
+	}
+	var info BrokerInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return BrokerInfo{}, err
+	}
+	return info, nil
+}
+
+// CreateTopic provisions a topic, assigning partition replicas across
+// live brokers round-robin (leader first, then rf-1 followers on the
+// next brokers). Creation is idempotent for an identical owner: the OWS
+// PUT route may be retried (§IV-F).
+func (c *Controller) CreateTopic(name, owner string, cfg TopicConfig) (*TopicMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if data, _, err := c.reg.Get(topicPath(name)); err == nil {
+		existing, err := unmarshalTopic(data)
+		if err != nil {
+			return nil, err
+		}
+		if existing.Owner == owner {
+			return existing, nil // idempotent retry
+		}
+		return nil, fmt.Errorf("%w: %s (owned by %s)", ErrTopicExists, name, existing.Owner)
+	}
+	brokers := c.LiveBrokers()
+	if len(brokers) == 0 {
+		return nil, ErrNoBrokers
+	}
+	rf := cfg.ReplicationFactor
+	if rf > len(brokers) {
+		rf = len(brokers)
+		cfg.ReplicationFactor = rf
+	}
+	meta := &TopicMeta{Name: name, Config: cfg, Owner: owner, CreatedAt: c.clock.Now()}
+	for p := 0; p < cfg.Partitions; p++ {
+		meta.Partitions = append(meta.Partitions, c.assignLocked(name, p, brokers, rf))
+	}
+	if err := c.reg.Create(topicPath(name), meta.marshal()); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// assignLocked picks a replica set for one partition.
+func (c *Controller) assignLocked(topic string, id int, brokers []int, rf int) PartitionMeta {
+	replicas := make([]int, 0, rf)
+	start := c.rr
+	c.rr++
+	for i := 0; i < rf; i++ {
+		replicas = append(replicas, brokers[(start+i)%len(brokers)])
+	}
+	return PartitionMeta{
+		Topic:    topic,
+		ID:       id,
+		Leader:   replicas[0],
+		Replicas: replicas,
+		ISR:      append([]int(nil), replicas...),
+	}
+}
+
+// Topic returns a topic's metadata.
+func (c *Controller) Topic(name string) (*TopicMeta, error) {
+	data, _, err := c.reg.Get(topicPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	return unmarshalTopic(data)
+}
+
+// Topics returns all topic names, sorted.
+func (c *Controller) Topics() []string {
+	return c.reg.Children("/topics")
+}
+
+// DeleteTopic removes a topic's metadata.
+func (c *Controller) DeleteTopic(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reg.Delete(topicPath(name)); err != nil {
+		return fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	return nil
+}
+
+// SetPartitions grows a topic's partition count (Kafka forbids
+// shrinking; so do we). New partitions are assigned across live brokers.
+func (c *Controller) SetPartitions(name string, n int) (*TopicMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, err := c.Topic(name)
+	if err != nil {
+		return nil, err
+	}
+	if n < meta.Config.Partitions {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrShrinkPartitions, meta.Config.Partitions, n)
+	}
+	if n == meta.Config.Partitions {
+		return meta, nil
+	}
+	brokers := c.LiveBrokers()
+	if len(brokers) == 0 {
+		return nil, ErrNoBrokers
+	}
+	rf := meta.Config.ReplicationFactor
+	if rf > len(brokers) {
+		rf = len(brokers)
+	}
+	for p := meta.Config.Partitions; p < n; p++ {
+		meta.Partitions = append(meta.Partitions, c.assignLocked(name, p, brokers, rf))
+	}
+	meta.Config.Partitions = n
+	if _, err := c.reg.Set(topicPath(name), meta.marshal()); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// SetConfig updates retention/compaction settings (partition count and
+// replication factor are managed by their dedicated operations).
+func (c *Controller) SetConfig(name string, cfg TopicConfig) (*TopicMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, err := c.Topic(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Retention > 0 {
+		meta.Config.Retention = cfg.Retention
+	}
+	meta.Config.Compact = cfg.Compact
+	if _, err := c.reg.Set(topicPath(name), meta.marshal()); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// Partition returns one partition's metadata.
+func (c *Controller) Partition(topic string, id int) (PartitionMeta, error) {
+	meta, err := c.Topic(topic)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	if id < 0 || id >= len(meta.Partitions) {
+		return PartitionMeta{}, fmt.Errorf("cluster: %s has no partition %d", topic, id)
+	}
+	return meta.Partitions[id], nil
+}
+
+// HandleBrokerFailure re-elects leaders for every partition led by the
+// failed broker, choosing the first surviving ISR member, and removes
+// the broker from ISR sets. Partitions with no surviving ISR member are
+// left leaderless (Leader = -1) until the broker returns.
+func (c *Controller) HandleBrokerFailure(brokerID int) []PartitionMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var changed []PartitionMeta
+	for _, name := range c.Topics() {
+		meta, err := c.Topic(name)
+		if err != nil {
+			continue
+		}
+		dirty := false
+		for i := range meta.Partitions {
+			p := &meta.Partitions[i]
+			if !p.HasReplica(brokerID) {
+				continue
+			}
+			isr := p.ISR[:0]
+			for _, r := range p.ISR {
+				if r != brokerID {
+					isr = append(isr, r)
+				}
+			}
+			p.ISR = isr
+			if p.Leader == brokerID {
+				if len(p.ISR) > 0 {
+					p.Leader = p.ISR[0]
+				} else {
+					p.Leader = -1
+				}
+			}
+			changed = append(changed, *p)
+			dirty = true
+		}
+		if dirty {
+			if _, err := c.reg.Set(topicPath(name), meta.marshal()); err == nil {
+				continue
+			}
+		}
+	}
+	return changed
+}
+
+// HandleBrokerRecovery restores a broker to the ISR of every partition
+// that lists it as a replica (the broker must have caught up first) and
+// re-elects it leader for leaderless partitions.
+func (c *Controller) HandleBrokerRecovery(brokerID int) []PartitionMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var changed []PartitionMeta
+	for _, name := range c.Topics() {
+		meta, err := c.Topic(name)
+		if err != nil {
+			continue
+		}
+		dirty := false
+		for i := range meta.Partitions {
+			p := &meta.Partitions[i]
+			if !p.HasReplica(brokerID) || p.InISR(brokerID) {
+				continue
+			}
+			p.ISR = append(p.ISR, brokerID)
+			sort.Ints(p.ISR)
+			if p.Leader == -1 {
+				p.Leader = brokerID
+			}
+			changed = append(changed, *p)
+			dirty = true
+		}
+		if dirty {
+			_, _ = c.reg.Set(topicPath(name), meta.marshal())
+		}
+	}
+	return changed
+}

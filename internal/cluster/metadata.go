@@ -1,0 +1,134 @@
+// Package cluster implements the control plane of the Octopus event
+// fabric: broker membership, topic metadata, partition assignment,
+// leader election and in-sync-replica (ISR) tracking. State lives in the
+// ZooKeeper-equivalent registry (internal/zk), matching the paper's
+// MSK + ZooKeeper deployment (§IV-A, §IV-F).
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the controller.
+var (
+	// ErrTopicExists reports topic re-creation with conflicting config.
+	ErrTopicExists = errors.New("cluster: topic already exists")
+	// ErrNoTopic reports an operation on an unknown topic.
+	ErrNoTopic = errors.New("cluster: unknown topic")
+	// ErrNoBrokers reports topic creation with no live brokers.
+	ErrNoBrokers = errors.New("cluster: no live brokers")
+	// ErrBadConfig reports an invalid topic configuration.
+	ErrBadConfig = errors.New("cluster: invalid topic config")
+	// ErrShrinkPartitions reports an attempt to reduce partition count.
+	ErrShrinkPartitions = errors.New("cluster: cannot reduce partition count")
+)
+
+// TopicConfig is the client-settable topic configuration exposed through
+// the OWS POST /topic/<topic> route.
+type TopicConfig struct {
+	// Partitions is the number of partitions (default 2, as in the
+	// paper's baseline experiments).
+	Partitions int `json:"partitions"`
+	// ReplicationFactor is the number of replicas per partition
+	// (default 2).
+	ReplicationFactor int `json:"replication_factor"`
+	// Retention is how long events are kept (default 7 days, §IV-F).
+	Retention time.Duration `json:"retention"`
+	// Compact enables key compaction instead of pure time retention.
+	Compact bool `json:"compact"`
+}
+
+// DefaultTopicConfig returns the paper's defaults.
+func DefaultTopicConfig() TopicConfig {
+	return TopicConfig{Partitions: 2, ReplicationFactor: 2, Retention: 7 * 24 * time.Hour}
+}
+
+func (c *TopicConfig) normalize() error {
+	if c.Partitions == 0 {
+		c.Partitions = 2
+	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.Retention == 0 {
+		c.Retention = 7 * 24 * time.Hour
+	}
+	if c.Partitions < 0 || c.ReplicationFactor < 0 {
+		return fmt.Errorf("%w: partitions=%d rf=%d", ErrBadConfig, c.Partitions, c.ReplicationFactor)
+	}
+	return nil
+}
+
+// PartitionMeta describes one partition's placement.
+type PartitionMeta struct {
+	// Topic and ID identify the partition.
+	Topic string `json:"topic"`
+	ID    int    `json:"id"`
+	// Leader is the broker id serving produce/fetch for the partition.
+	Leader int `json:"leader"`
+	// Replicas is the full replica set (leader included).
+	Replicas []int `json:"replicas"`
+	// ISR is the in-sync subset of Replicas.
+	ISR []int `json:"isr"`
+}
+
+// HasReplica reports whether broker id hosts a replica.
+func (p *PartitionMeta) HasReplica(id int) bool {
+	for _, r := range p.Replicas {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// InISR reports whether broker id is in the in-sync set.
+func (p *PartitionMeta) InISR(id int) bool {
+	for _, r := range p.ISR {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TopicMeta is the full metadata for a topic.
+type TopicMeta struct {
+	Name       string          `json:"name"`
+	Config     TopicConfig     `json:"config"`
+	Partitions []PartitionMeta `json:"partitions"`
+	// Owner is the identity that provisioned the topic.
+	Owner string `json:"owner"`
+	// CreatedAt is the provisioning time.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+func (t *TopicMeta) marshal() []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		panic("cluster: cannot marshal topic meta: " + err.Error())
+	}
+	return b
+}
+
+func unmarshalTopic(b []byte) (*TopicMeta, error) {
+	var t TopicMeta
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt topic metadata: %w", err)
+	}
+	return &t, nil
+}
+
+// BrokerInfo describes a registered broker.
+type BrokerInfo struct {
+	ID int `json:"id"`
+	// Addr is the broker's listen address (empty for in-process nodes).
+	Addr string `json:"addr"`
+	// VCPUs and MemGB describe the instance type, used by the capacity
+	// model (kafka.m5.large = 2 vCPU / 8 GB, m5.xlarge = 4 / 16).
+	VCPUs int `json:"vcpus"`
+	MemGB int `json:"mem_gb"`
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/event"
+	"repro/internal/trigger"
+)
+
+func launch(t *testing.T) *Octopus {
+	t.Helper()
+	oct, err := Launch(Config{Brokers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oct.Shutdown)
+	return oct
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	oct := launch(t)
+	user, err := oct.Register("alice@uchicago.edu", "globus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic, err := oct.CreateTopic(user, "instrument-data", TopicOptions{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := topic.Producer()
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		if err := p.SendJSON("", map[string]any{"seq": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := topic.Consumer(FromEarliest())
+	defer c.Close()
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < 20 && time.Now().Before(deadline) {
+		evs, err := c.Poll(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(evs)
+	}
+	if got != 20 {
+		t.Fatalf("consumed %d", got)
+	}
+}
+
+func TestAccessControlAcrossUsers(t *testing.T) {
+	oct := launch(t)
+	alice, _ := oct.Register("alice@uchicago.edu", "globus")
+	bob, _ := oct.Register("bob@anl.gov", "globus")
+	topic, err := oct.CreateTopic(alice, "private", TopicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot open or produce before the grant.
+	if _, err := oct.OpenTopic(bob, "private"); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("open: %v", err)
+	}
+	// Grant read+describe; bob can open and consume, not produce.
+	if err := topic.Grant(bob, auth.PermRead, auth.PermDescribe); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := oct.OpenTopic(bob, "private")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bt.Producer()
+	defer p.Close()
+	if _, err := p.SendSync(event.New("", map[string]any{"x": 1})); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("bob produce: %v", err)
+	}
+	// Only the owner may grant.
+	if err := bt.Grant(alice, auth.PermRead); !errors.Is(err, auth.ErrDenied) {
+		t.Fatalf("non-owner grant: %v", err)
+	}
+}
+
+func TestTriggerViaFacade(t *testing.T) {
+	oct := launch(t)
+	user, _ := oct.Register("alice@uchicago.edu", "globus")
+	topic, err := oct.CreateTopic(user, "fs-events", TopicOptions{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var created []string
+	_, err = topic.AddTrigger("replicate", TriggerOptions{
+		Pattern: `{"value": {"event_type": ["created"]}}`,
+	}, func(inv *trigger.Invocation) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range inv.Events {
+			doc, _ := e.JSON()
+			created = append(created, doc["value"].(map[string]any)["path"].(string))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := topic.Producer()
+	defer p.Close()
+	_ = p.SendJSON("", map[string]any{"value": map[string]any{"event_type": "created", "path": "/a"}})
+	_ = p.SendJSON("", map[string]any{"value": map[string]any{"event_type": "modified", "path": "/b"}})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(created)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(created) != 1 || created[0] != "/a" {
+		t.Fatalf("created = %v", created)
+	}
+}
+
+func TestGroupConsumptionViaFacade(t *testing.T) {
+	oct := launch(t)
+	user, _ := oct.Register("alice@uchicago.edu", "globus")
+	topic, err := oct.CreateTopic(user, "grouped", TopicOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := topic.Producer()
+	for i := 0; i < 40; i++ {
+		_ = p.SendJSON("", map[string]any{"i": i})
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Close()
+	c1 := topic.Consumer(InGroup("workers"), FromEarliest())
+	defer c1.Close()
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < 40 && time.Now().Before(deadline) {
+		evs, err := c1.Poll(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(evs)
+	}
+	if got != 40 {
+		t.Fatalf("group consumed %d", got)
+	}
+}
+
+func TestFromTimeConsumer(t *testing.T) {
+	oct := launch(t)
+	user, _ := oct.Register("alice@uchicago.edu", "globus")
+	topic, _ := oct.CreateTopic(user, "timed", TopicOptions{Partitions: 1})
+	p := topic.Producer()
+	defer p.Close()
+	_ = p.SendJSON("", map[string]any{"phase": "old"})
+	_ = p.Flush()
+	time.Sleep(2 * time.Millisecond)
+	cut := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	_ = p.SendJSON("", map[string]any{"phase": "new"})
+	_ = p.Flush()
+	c := topic.Consumer(FromTime(cut))
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		evs, err := c.Poll(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) > 0 {
+			doc, _ := evs[0].JSON()
+			if doc["phase"] != "new" {
+				t.Fatalf("saw %v", doc)
+			}
+			return
+		}
+	}
+	t.Fatal("no events after time seek")
+}
+
+func TestCreateKeyViaFacade(t *testing.T) {
+	oct := launch(t)
+	user, _ := oct.Register("alice@uchicago.edu", "globus")
+	k, err := user.CreateKey()
+	if err != nil || k.AccessKeyID == "" {
+		t.Fatalf("key = %+v, %v", k, err)
+	}
+}
+
+func TestWireListener(t *testing.T) {
+	oct := launch(t)
+	oct.Fabric.Auth.RegisterIdentity("u", "p")
+	addr, err := oct.ListenWire("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("no address")
+	}
+}
+
+func TestRemoteTransportSlowerThanLocal(t *testing.T) {
+	oct := launch(t)
+	user, _ := oct.Register("alice@uchicago.edu", "globus")
+	topic, _ := oct.CreateTopic(user, "lat", TopicOptions{Partitions: 1})
+	start := time.Now()
+	if _, err := topic.RemoteTransport().EndOffset("lat", 0); err != nil {
+		t.Fatal(err)
+	}
+	remote := time.Since(start)
+	if remote < 40*time.Millisecond {
+		t.Fatalf("remote RTT not applied: %v", remote)
+	}
+	start = time.Now()
+	if _, err := topic.Transport().EndOffset("lat", 0); err != nil {
+		t.Fatal(err)
+	}
+	if local := time.Since(start); local > remote/2 {
+		t.Fatalf("local (%v) not faster than remote (%v)", local, remote)
+	}
+}

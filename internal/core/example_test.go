@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trigger"
+)
+
+// Example demonstrates the end-to-end flow from the package comment:
+// launch, authenticate, provision, trigger, produce, consume.
+func Example() {
+	oct, err := core.Launch(core.Config{Brokers: 2})
+	if err != nil {
+		fmt.Println("launch:", err)
+		return
+	}
+	defer oct.Shutdown()
+
+	alice, err := oct.Register("alice@uchicago.edu", "globus")
+	if err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+	topic, err := oct.CreateTopic(alice, "instrument-data", core.TopicOptions{Partitions: 2})
+	if err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+
+	fired := make(chan string, 1)
+	_, err = topic.AddTrigger("on-create", core.TriggerOptions{
+		Pattern: `{"value": {"event_type": ["created"]}}`,
+	}, func(inv *trigger.Invocation) error {
+		doc, err := inv.Events[0].JSON()
+		if err != nil {
+			return err
+		}
+		fired <- doc["value"].(map[string]any)["path"].(string)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("trigger:", err)
+		return
+	}
+
+	p := topic.Producer()
+	defer p.Close()
+	_ = p.SendJSON("", map[string]any{"value": map[string]any{"event_type": "created", "path": "/data/scan-1.tif"}})
+	if err := p.Flush(); err != nil {
+		fmt.Println("flush:", err)
+		return
+	}
+
+	select {
+	case path := <-fired:
+		fmt.Println("trigger fired for", path)
+	case <-time.After(5 * time.Second):
+		fmt.Println("trigger did not fire")
+	}
+	// Output: trigger fired for /data/scan-1.tif
+}

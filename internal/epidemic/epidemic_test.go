@@ -1,0 +1,234 @@
+package epidemic
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var day0 = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func validRecord() RawRecord {
+	return RawRecord{
+		Source: "cdc-feed",
+		Fields: map[string]any{
+			"region":     "cook-county",
+			"date":       "2024-01-15",
+			"new_cases":  float64(120),
+			"population": float64(5_000_000),
+		},
+	}
+}
+
+func TestCleanAcceptsValidRecord(t *testing.T) {
+	rep, err := Clean(validRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Region != "cook-county" || rep.NewCases != 120 || rep.Population != 5_000_000 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Date.Format("2006-01-02") != "2024-01-15" {
+		t.Fatalf("date = %v", rep.Date)
+	}
+}
+
+func TestCleanRejectsBadRecords(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RawRecord)
+		want   error
+	}{
+		{"missing region", func(r *RawRecord) { delete(r.Fields, "region") }, ErrMissingField},
+		{"empty region", func(r *RawRecord) { r.Fields["region"] = "" }, ErrBadValue},
+		{"missing cases", func(r *RawRecord) { delete(r.Fields, "new_cases") }, ErrMissingField},
+		{"negative cases", func(r *RawRecord) { r.Fields["new_cases"] = float64(-5) }, ErrBadValue},
+		{"absurd cases", func(r *RawRecord) { r.Fields["new_cases"] = float64(1e9) }, ErrBadValue},
+		{"fractional cases", func(r *RawRecord) { r.Fields["new_cases"] = 1.5 }, ErrBadValue},
+		{"string cases", func(r *RawRecord) { r.Fields["new_cases"] = "many" }, ErrBadValue},
+		{"zero population", func(r *RawRecord) { r.Fields["population"] = float64(0) }, ErrBadValue},
+		{"bad date", func(r *RawRecord) { r.Fields["date"] = "Jan 15" }, ErrBadValue},
+	}
+	for _, c := range cases {
+		r := validRecord()
+		c.mutate(&r)
+		if _, err := Clean(r); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestREstimateGrowth(t *testing.T) {
+	m := NewSIRModel("region", 1_000_000)
+	// Exponentially growing cases: R must exceed 1.
+	cases := 100.0
+	for d := 0; d < 20; d++ {
+		m.Observe(int(cases))
+		cases *= 1.08
+	}
+	r, err := m.REstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 1 {
+		t.Fatalf("growing epidemic R = %.2f, want > 1", r)
+	}
+}
+
+func TestREstimateDecline(t *testing.T) {
+	m := NewSIRModel("region", 1_000_000)
+	cases := 1000.0
+	for d := 0; d < 20; d++ {
+		m.Observe(int(cases))
+		cases *= 0.9
+	}
+	r, err := m.REstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1 {
+		t.Fatalf("declining epidemic R = %.2f, want < 1", r)
+	}
+}
+
+func TestREstimateNeedsData(t *testing.T) {
+	m := NewSIRModel("region", 1000)
+	for d := 0; d < 5; d++ {
+		m.Observe(10)
+	}
+	if _, err := m.REstimate(); err == nil {
+		t.Fatal("R estimate with 5 days accepted")
+	}
+}
+
+func TestREstimateFlatIsOne(t *testing.T) {
+	m := NewSIRModel("region", 1_000_000)
+	for d := 0; d < 20; d++ {
+		m.Observe(500)
+	}
+	r, err := m.REstimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 || r > 1.1 {
+		t.Fatalf("flat epidemic R = %.2f, want ~1", r)
+	}
+}
+
+func TestREstimateZeroHistory(t *testing.T) {
+	m := NewSIRModel("region", 1000)
+	for d := 0; d < 20; d++ {
+		m.Observe(0)
+	}
+	r, err := m.REstimate()
+	if err != nil || r != 1 {
+		t.Fatalf("no-circulation R = %.2f, %v", r, err)
+	}
+}
+
+func TestProjectDirectionFollowsR(t *testing.T) {
+	grow := NewSIRModel("g", 10_000_000)
+	cases := 100.0
+	for d := 0; d < 20; d++ {
+		grow.Observe(int(cases))
+		cases *= 1.1
+	}
+	proj, err := grow.Project(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 14 {
+		t.Fatalf("projection days = %d", len(proj))
+	}
+	if proj[13] <= proj[0] {
+		t.Fatalf("growing epidemic projected to shrink: %v", proj)
+	}
+	// Projections never exceed the population.
+	total := 0
+	for _, c := range proj {
+		if c < 0 {
+			t.Fatalf("negative projection: %v", proj)
+		}
+		total += c
+	}
+	if total > grow.Population {
+		t.Fatalf("projected %d infections in a population of %d", total, grow.Population)
+	}
+}
+
+func TestEvaluateAlertLevels(t *testing.T) {
+	if a := Evaluate("r", 0.8); a.Level != "normal" {
+		t.Fatalf("0.8 -> %s", a.Level)
+	}
+	if a := Evaluate("r", 1.2); a.Level != "elevated" {
+		t.Fatalf("1.2 -> %s", a.Level)
+	}
+	if a := Evaluate("r", 1.8); a.Level != "critical" {
+		t.Fatalf("1.8 -> %s", a.Level)
+	}
+}
+
+func TestSourceProducesWaveWithCorruption(t *testing.T) {
+	s := NewSource("cdc", "cook", 5_000_000, 2.5)
+	valid, invalid := 0, 0
+	peak := 0
+	for d := 0; d < 120; d++ {
+		rec := s.Next(day0.AddDate(0, 0, d))
+		rep, err := Clean(rec)
+		if err != nil {
+			invalid++
+			continue
+		}
+		valid++
+		if rep.NewCases > peak {
+			peak = rep.NewCases
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid records")
+	}
+	if invalid == 0 {
+		t.Fatal("corruption never exercised the validator")
+	}
+	if float64(invalid)/120 > 0.15 {
+		t.Fatalf("too much corruption: %d of 120", invalid)
+	}
+	if peak == 0 {
+		t.Fatal("wave never rose")
+	}
+}
+
+func TestSourceIsDeterministic(t *testing.T) {
+	a := NewSource("x", "r", 1000, 2)
+	b := NewSource("x", "r", 1000, 2)
+	for d := 0; d < 30; d++ {
+		ra := a.Next(day0.AddDate(0, 0, d))
+		rb := b.Next(day0.AddDate(0, 0, d))
+		if ra.Fields["new_cases"] != rb.Fields["new_cases"] {
+			t.Fatalf("day %d differs", d)
+		}
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Source -> Clean -> Model -> Alert, the Figure 6 (right) flow.
+	src := NewSource("health-dept", "metro", 8_000_000, 2.2)
+	model := NewSIRModel("metro", 8_000_000)
+	var lastAlert Alert
+	for d := 0; d < 90; d++ {
+		rec := src.Next(day0.AddDate(0, 0, d))
+		rep, err := Clean(rec)
+		if err != nil {
+			continue // validation rejects corrupt records
+		}
+		model.Observe(rep.NewCases)
+		if model.Days() >= 14 {
+			if r, err := model.REstimate(); err == nil {
+				lastAlert = Evaluate("metro", r)
+			}
+		}
+	}
+	if lastAlert.Region != "metro" {
+		t.Fatal("pipeline produced no alerts")
+	}
+}

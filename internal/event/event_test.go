@@ -1,0 +1,166 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewJSONRoundTrip(t *testing.T) {
+	ev := New("k1", map[string]any{"event_type": "created", "size": 42.0})
+	if string(ev.Key) != "k1" {
+		t.Fatalf("key = %q, want k1", ev.Key)
+	}
+	doc, err := ev.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if doc["event_type"] != "created" || doc["size"] != 42.0 {
+		t.Fatalf("decoded doc = %v", doc)
+	}
+}
+
+func TestNewEmptyKey(t *testing.T) {
+	ev := New("", map[string]any{"a": 1})
+	if ev.Key != nil {
+		t.Fatalf("empty key should produce nil Key, got %q", ev.Key)
+	}
+}
+
+func TestJSONInvalidPayload(t *testing.T) {
+	ev := Event{Value: []byte("not json")}
+	if _, err := ev.JSON(); err == nil {
+		t.Fatal("want error for non-JSON payload")
+	}
+}
+
+func TestSizeCountsKeyValueHeaders(t *testing.T) {
+	ev := Event{
+		Key:     []byte("abc"),
+		Value:   []byte("0123456789"),
+		Headers: map[string]string{"hk": "hv12"},
+	}
+	want := 3 + 10 + 2 + 4
+	if got := ev.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ev := Event{
+		Key:     []byte("key"),
+		Value:   []byte("val"),
+		Headers: map[string]string{"a": "b"},
+	}
+	c := ev.Clone()
+	c.Key[0] = 'X'
+	c.Value[0] = 'X'
+	c.Headers["a"] = "mutated"
+	if ev.Key[0] != 'k' || ev.Value[0] != 'v' || ev.Headers["a"] != "b" {
+		t.Fatal("Clone shares memory with original")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	ev := Event{
+		Key:       []byte("route-7"),
+		Value:     []byte(`{"instrument":"xrd-2","action":"scan"}`),
+		Timestamp: time.Unix(1700000000, 12345),
+		Headers:   map[string]string{"experiment": "e-99", "site": "anl"},
+	}
+	buf := ev.Marshal()
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !bytes.Equal(got.Key, ev.Key) || !bytes.Equal(got.Value, ev.Value) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, ev)
+	}
+	if !got.Timestamp.Equal(ev.Timestamp) {
+		t.Fatalf("timestamp mismatch: %v vs %v", got.Timestamp, ev.Timestamp)
+	}
+	if !reflect.DeepEqual(got.Headers, ev.Headers) {
+		t.Fatalf("headers mismatch: %v vs %v", got.Headers, ev.Headers)
+	}
+}
+
+func TestUnmarshalConcatenatedRecords(t *testing.T) {
+	a := Event{Value: []byte("first"), Timestamp: time.Unix(1, 0)}
+	b := Event{Key: []byte("k"), Value: []byte("second"), Timestamp: time.Unix(2, 0)}
+	buf := append(a.Marshal(), b.Marshal()...)
+	gotA, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	gotB, m, err := Unmarshal(buf[n:])
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if n+m != len(buf) {
+		t.Fatalf("consumed %d, want %d", n+m, len(buf))
+	}
+	if string(gotA.Value) != "first" || string(gotB.Value) != "second" {
+		t.Fatalf("values: %q %q", gotA.Value, gotB.Value)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	ev := Event{Key: []byte("abc"), Value: []byte("defghij"), Headers: map[string]string{"x": "y"}}
+	buf := ev.Marshal()
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := Unmarshal(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestMarshalPropertyRoundTrip(t *testing.T) {
+	f := func(key, value []byte, ts int64) bool {
+		ev := Event{Key: key, Value: value, Timestamp: time.Unix(0, ts)}
+		got, n, err := Unmarshal(ev.Marshal())
+		if err != nil || n != len(ev.Marshal()) {
+			return false
+		}
+		if len(key) == 0 {
+			if got.Key != nil {
+				return false
+			}
+		} else if !bytes.Equal(got.Key, key) {
+			return false
+		}
+		return bytes.Equal(got.Value, value) && got.Timestamp.UnixNano() == ts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnUnmarshalable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unmarshalable payload")
+		}
+	}()
+	New("k", make(chan int))
+}
+
+func TestJSONNumbersDecodeAsFloat(t *testing.T) {
+	ev := New("", map[string]any{"n": 3})
+	doc, err := ev.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["n"].(float64); !ok {
+		t.Fatalf("want float64, got %T", doc["n"])
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(ev.Value, &raw); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package eventlog implements the storage engine behind a topic
+// partition: an append-only, offset-addressed, segmented commit log with
+// time-indexed lookup, retention enforcement and key compaction. It is
+// the moral equivalent of Kafka's log layer (§IV-A of the paper), built
+// from scratch on Go slices with optional file-backed persistence.
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Errors returned by log reads.
+var (
+	// ErrOffsetOutOfRange reports a read before the log start (records
+	// deleted by retention) or a negative offset.
+	ErrOffsetOutOfRange = errors.New("eventlog: offset out of range")
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("eventlog: log closed")
+)
+
+// Config controls segment rolling and retention for a partition log.
+type Config struct {
+	// SegmentBytes rolls a new segment when the active one reaches this
+	// many payload bytes. Default 4 MiB.
+	SegmentBytes int
+	// SegmentEvents rolls a new segment after this many records.
+	// Default 65536.
+	SegmentEvents int
+	// Retention is the maximum age of a segment before it is eligible
+	// for deletion; the paper's default topic retention is seven days.
+	Retention time.Duration
+	// RetentionBytes caps the total stored bytes (0 = unlimited).
+	RetentionBytes int64
+	// Compact enables key compaction: on Compact(), only the latest
+	// record per key in sealed segments is retained.
+	Compact bool
+}
+
+// DefaultConfig returns the paper's defaults (7-day retention).
+func DefaultConfig() Config {
+	return Config{
+		SegmentBytes:  4 << 20,
+		SegmentEvents: 65536,
+		Retention:     7 * 24 * time.Hour,
+	}
+}
+
+func (c *Config) fill() {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.SegmentEvents <= 0 {
+		c.SegmentEvents = 65536
+	}
+	if c.Retention <= 0 {
+		c.Retention = 7 * 24 * time.Hour
+	}
+}
+
+type record struct {
+	offset int64
+	ev     event.Event
+}
+
+// segment is a contiguous run of records starting at baseOffset.
+type segment struct {
+	baseOffset int64
+	records    []record
+	bytes      int
+	created    time.Time
+	lastAppend time.Time
+	sealed     bool
+}
+
+func (s *segment) nextOffset() int64 { return s.baseOffset + int64(len(s.records)) }
+
+// Log is a single partition's commit log. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu       sync.RWMutex
+	cfg      Config
+	segments []*segment
+	// start is the lowest retained offset (advances under retention).
+	start int64
+	// next is the offset the next appended record will receive.
+	next   int64
+	bytes  int64
+	closed bool
+}
+
+// New creates an empty log with the given configuration.
+func New(cfg Config) *Log {
+	cfg.fill()
+	l := &Log{cfg: cfg}
+	l.segments = []*segment{{}}
+	return l
+}
+
+// Append assigns the next offset and stores the event, stamping it with
+// now. It returns the assigned offset.
+func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	active := l.segments[len(l.segments)-1]
+	if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
+		active.sealed = true
+		active = &segment{baseOffset: l.next, created: now}
+		l.segments = append(l.segments, active)
+	}
+	if len(active.records) == 0 {
+		active.created = now
+	}
+	off := l.next
+	ev.Offset = off
+	ev.Timestamp = now
+	active.records = append(active.records, record{offset: off, ev: ev})
+	sz := ev.Size()
+	active.bytes += sz
+	active.lastAppend = now
+	l.bytes += int64(sz)
+	l.next++
+	return off, nil
+}
+
+// AppendBatch appends events in order, returning the first assigned
+// offset. A batch is appended atomically with respect to readers.
+func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	first := l.next
+	for _, ev := range evs {
+		active := l.segments[len(l.segments)-1]
+		if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
+			active.sealed = true
+			active = &segment{baseOffset: l.next, created: now}
+			l.segments = append(l.segments, active)
+		}
+		if len(active.records) == 0 {
+			active.created = now
+		}
+		ev.Offset = l.next
+		ev.Timestamp = now
+		active.records = append(active.records, record{offset: l.next, ev: ev})
+		sz := ev.Size()
+		active.bytes += sz
+		active.lastAppend = now
+		l.bytes += int64(sz)
+		l.next++
+	}
+	return first, nil
+}
+
+// Read returns up to max events starting at offset. A read exactly at the
+// log end returns an empty slice and no error (the caller polls or waits).
+func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if offset < l.start || offset > l.next {
+		return nil, fmt.Errorf("%w: offset %d not in [%d,%d]", ErrOffsetOutOfRange, offset, l.start, l.next)
+	}
+	if offset == l.next || max <= 0 {
+		return nil, nil
+	}
+	out := make([]event.Event, 0, min(max, 64))
+	for _, seg := range l.segments {
+		if seg.nextOffset() <= offset {
+			continue
+		}
+		idx := 0
+		if offset > seg.baseOffset {
+			// Records within a segment may start above baseOffset after
+			// compaction; binary-search the first record >= offset.
+			idx = searchRecords(seg.records, offset)
+		}
+		for ; idx < len(seg.records); idx++ {
+			out = append(out, seg.records[idx].ev)
+			if len(out) >= max {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReadBytes returns events starting at offset until maxBytes of payload
+// have been accumulated (at least one event is returned if available).
+func (l *Log) ReadBytes(offset int64, maxBytes int) ([]event.Event, error) {
+	evs, err := l.Read(offset, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, ev := range evs {
+		total += ev.Size()
+		if total >= maxBytes && i > 0 {
+			return evs[:i], nil
+		}
+		if total >= maxBytes {
+			return evs[:i+1], nil
+		}
+	}
+	return evs, nil
+}
+
+// OffsetForTime returns the first offset whose record timestamp is at or
+// after t — the "consume after a certain timestamp" interface of §IV-F.
+// If every record is older than t, the end offset is returned.
+func (l *Log) OffsetForTime(t time.Time) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, seg := range l.segments {
+		for _, r := range seg.records {
+			if !r.ev.Timestamp.Before(t) {
+				return r.offset
+			}
+		}
+	}
+	return l.next
+}
+
+// StartOffset returns the earliest retained offset.
+func (l *Log) StartOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.start
+}
+
+// EndOffset returns the offset one past the last appended record.
+func (l *Log) EndOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.next
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, seg := range l.segments {
+		n += len(seg.records)
+	}
+	return n
+}
+
+// Bytes returns the total retained payload bytes.
+func (l *Log) Bytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytes
+}
+
+// EnforceRetention drops sealed segments older than the retention window
+// or in excess of RetentionBytes, advancing the start offset. It returns
+// the number of records deleted.
+func (l *Log) EnforceRetention(now time.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	deleted := 0
+	for len(l.segments) > 1 {
+		seg := l.segments[0]
+		expired := l.cfg.Retention > 0 && !seg.lastAppend.IsZero() && now.Sub(seg.lastAppend) > l.cfg.Retention
+		overBytes := l.cfg.RetentionBytes > 0 && l.bytes > l.cfg.RetentionBytes
+		if !expired && !overBytes {
+			break
+		}
+		deleted += len(seg.records)
+		l.bytes -= int64(seg.bytes)
+		l.start = seg.nextOffset()
+		l.segments = l.segments[1:]
+	}
+	return deleted
+}
+
+// Compact removes superseded records (same key, older offset) from sealed
+// segments, retaining only the most recent record per key, as configured
+// via the topic "cleanup policy" of §IV-F. Records with nil keys are
+// always retained. It returns the number of records removed.
+func (l *Log) Compact() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.cfg.Compact {
+		return 0
+	}
+	latest := make(map[string]int64)
+	for _, seg := range l.segments {
+		for _, r := range seg.records {
+			if r.ev.Key != nil {
+				latest[string(r.ev.Key)] = r.offset
+			}
+		}
+	}
+	removed := 0
+	for _, seg := range l.segments {
+		if !seg.sealed {
+			continue
+		}
+		kept := seg.records[:0]
+		for _, r := range seg.records {
+			if r.ev.Key != nil && latest[string(r.ev.Key)] != r.offset {
+				removed++
+				l.bytes -= int64(r.ev.Size())
+				seg.bytes -= r.ev.Size()
+				continue
+			}
+			kept = append(kept, r)
+		}
+		seg.records = kept
+	}
+	return removed
+}
+
+// Close marks the log closed; subsequent operations fail with ErrClosed.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}
+
+// searchRecords returns the index of the first record with offset >= off.
+func searchRecords(rs []record, off int64) int {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].offset < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

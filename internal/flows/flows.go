@@ -1,0 +1,235 @@
+// Package flows implements the rule-chain programming model of the
+// paper's introduction: "a first rule might state that data acquisition
+// at an instrument should trigger a workflow to transfer the data to an
+// HPC system; a second that completion of the transfer should trigger
+// analysis on the HPC; and a third that conclusion of the analysis
+// should trigger an email to a researcher with results."
+//
+// A Flow is an ordered list of steps. Each step is a trigger on a
+// topic: events matching the step's pattern invoke the step's action,
+// and on success a completion event is published to the next step's
+// topic, carrying the flow name, step name, run id, and the step's
+// output. Flows therefore compose entirely out of Octopus primitives —
+// topics, patterns, triggers — exactly as the paper's applications do.
+package flows
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/trigger"
+)
+
+// StepFunc is the work of one step. It receives the triggering event's
+// JSON document and returns the step's output, which is forwarded to
+// the next step. A non-nil error retries the batch per the trigger's
+// retry policy.
+type StepFunc func(run string, doc map[string]any) (map[string]any, error)
+
+// Step is one rule of a flow.
+type Step struct {
+	// Name labels the step ("transfer", "analyze", "notify").
+	Name string
+	// Pattern optionally filters which events run the step (an
+	// EventBridge-style pattern over the incoming document).
+	Pattern string
+	// Do is the step's action.
+	Do StepFunc
+}
+
+// Flow is an ordered automation.
+type Flow struct {
+	// Name namespaces the flow's intermediate topics.
+	Name string
+	// Source is the topic whose events start runs of the flow.
+	Source string
+	// Steps run in order; step i+1 listens to step i's completions.
+	Steps []Step
+}
+
+// StepEvent is the completion record published between steps.
+type StepEvent struct {
+	Flow string         `json:"flow"`
+	Step string         `json:"step"`
+	Run  string         `json:"run"`
+	Out  map[string]any `json:"out,omitempty"`
+	// Doc is the document the next step receives (the step output
+	// merged over the original payload keys it chooses to forward).
+	Doc map[string]any `json:"doc"`
+}
+
+// Deployment is a deployed flow's handle.
+type Deployment struct {
+	Flow     Flow
+	runtime  *trigger.Runtime
+	fabric   *broker.Fabric
+	triggers []string
+
+	mu        sync.Mutex
+	completed map[string]int // run -> steps completed
+}
+
+// StepTopic returns the internal topic feeding step i (i = 0 is the
+// source topic).
+func (d *Deployment) StepTopic(i int) string {
+	if i <= 0 {
+		return d.Flow.Source
+	}
+	return fmt.Sprintf("%s.step%d", d.Flow.Name, i)
+}
+
+// FinalTopic is where completions of the last step land; consumers can
+// subscribe to observe finished runs.
+func (d *Deployment) FinalTopic() string {
+	return fmt.Sprintf("%s.done", d.Flow.Name)
+}
+
+// Errors returned by Deploy.
+var (
+	// ErrNoSteps reports an empty flow.
+	ErrNoSteps = errors.New("flows: flow has no steps")
+	// ErrNoSource reports a flow without a source topic.
+	ErrNoSource = errors.New("flows: flow has no source topic")
+)
+
+// Deploy provisions the flow's intermediate topics and triggers. The
+// owner identity is granted on intermediate topics so triggers acting
+// on their behalf pass ACL checks; empty owner means trusted in-process.
+func Deploy(f *broker.Fabric, rt *trigger.Runtime, flow Flow, owner string) (*Deployment, error) {
+	if len(flow.Steps) == 0 {
+		return nil, ErrNoSteps
+	}
+	if flow.Source == "" {
+		return nil, ErrNoSource
+	}
+	if flow.Name == "" {
+		flow.Name = "flow"
+	}
+	d := &Deployment{Flow: flow, runtime: rt, fabric: f, completed: make(map[string]int)}
+	// Intermediate + final topics.
+	for i := 1; i < len(flow.Steps); i++ {
+		if _, err := f.CreateTopic(d.StepTopic(i), owner, cluster.TopicConfig{Partitions: 2, ReplicationFactor: 1}); err != nil {
+			return nil, fmt.Errorf("flows: step topic %d: %w", i, err)
+		}
+	}
+	if _, err := f.CreateTopic(d.FinalTopic(), owner, cluster.TopicConfig{Partitions: 2, ReplicationFactor: 1}); err != nil {
+		return nil, fmt.Errorf("flows: final topic: %w", err)
+	}
+	// One trigger per step.
+	for i := range flow.Steps {
+		i := i
+		step := flow.Steps[i]
+		next := d.FinalTopic()
+		if i+1 < len(flow.Steps) {
+			next = d.StepTopic(i + 1)
+		}
+		id := fmt.Sprintf("%s.%s", flow.Name, step.Name)
+		cfg := trigger.Config{
+			ID:          id,
+			Topic:       d.StepTopic(i),
+			PatternJSON: step.Pattern,
+			BatchSize:   32,
+			OnBehalfOf:  owner,
+		}
+		action := d.stepAction(i, step, next)
+		if _, err := rt.DeployFunc(cfg, action); err != nil {
+			// Roll back already-deployed triggers.
+			for _, tid := range d.triggers {
+				_ = rt.Remove(tid)
+			}
+			return nil, fmt.Errorf("flows: deploy step %s: %w", step.Name, err)
+		}
+		d.triggers = append(d.triggers, id)
+	}
+	return d, nil
+}
+
+// stepAction wraps a StepFunc: decode, run, publish completion.
+func (d *Deployment) stepAction(idx int, step Step, next string) trigger.Action {
+	return func(inv *trigger.Invocation) error {
+		var completions []event.Event
+		for _, ev := range inv.Events {
+			doc, err := ev.JSON()
+			if err != nil {
+				continue // non-JSON events cannot run flows
+			}
+			run := runID(idx, ev, doc)
+			// Completion events from the previous step wrap the working
+			// document; hand the step the document itself.
+			if idx > 0 {
+				if inner, ok := doc["doc"].(map[string]any); ok {
+					doc = inner
+				}
+			}
+			out, err := step.Do(run, doc)
+			if err != nil {
+				return fmt.Errorf("flows: step %s run %s: %w", step.Name, run, err)
+			}
+			se := StepEvent{Flow: d.Flow.Name, Step: step.Name, Run: run, Out: out, Doc: out}
+			if se.Doc == nil {
+				se.Doc = doc
+			}
+			completions = append(completions, event.New(run, se))
+			d.mu.Lock()
+			d.completed[run]++
+			d.mu.Unlock()
+		}
+		if len(completions) == 0 {
+			return nil
+		}
+		_, err := d.fabric.Produce(d.Flow.Steps[idx].propagateIdentity(), next, -1, completions, broker.AcksLeader)
+		return err
+	}
+}
+
+// propagateIdentity: steps act as the deployment owner; the trusted
+// in-process identity is used when no owner was set. (Kept as a method
+// for future per-step identities.)
+func (s Step) propagateIdentity() string { return "" }
+
+// runID derives the flow-run correlation id: the event key if present,
+// a "run" field if the document carries one, else topic/partition@offset.
+func runID(stepIdx int, ev event.Event, doc map[string]any) string {
+	if stepIdx > 0 {
+		// Completion events carry the run explicitly.
+		if r, ok := doc["run"].(string); ok && r != "" {
+			return r
+		}
+	}
+	if len(ev.Key) > 0 {
+		return string(ev.Key)
+	}
+	if r, ok := doc["run"].(string); ok && r != "" {
+		return r
+	}
+	return fmt.Sprintf("%s/%d@%d", ev.Topic, ev.Partition, ev.Offset)
+}
+
+// CompletedSteps reports how many steps have completed for a run.
+func (d *Deployment) CompletedSteps(run string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.completed[run]
+}
+
+// Remove tears down the flow's triggers (topics are retained, as data
+// outlives automation).
+func (d *Deployment) Remove() {
+	for _, id := range d.triggers {
+		_ = d.runtime.Remove(id)
+	}
+}
+
+// DecodeStepEvent parses a completion record from the final topic.
+func DecodeStepEvent(ev event.Event) (StepEvent, error) {
+	var se StepEvent
+	if err := json.Unmarshal(ev.Value, &se); err != nil {
+		return se, fmt.Errorf("flows: bad step event: %w", err)
+	}
+	return se, nil
+}

@@ -1,0 +1,280 @@
+package flows
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/trigger"
+)
+
+func fixture(t *testing.T) (*broker.Fabric, *trigger.Runtime) {
+	t.Helper()
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("acquisition", "", cluster.TopicConfig{Partitions: 2, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt := trigger.NewRuntime(f)
+	t.Cleanup(rt.StopAll)
+	return f, rt
+}
+
+func produceDoc(t *testing.T, f *broker.Fabric, topic, key string, doc map[string]any) {
+	t.Helper()
+	if _, err := f.Produce("", topic, -1, []event.Event{event.New(key, doc)}, broker.AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timeout: " + msg)
+}
+
+// TestThreeRuleChain reproduces the paper's §I example: acquisition →
+// transfer → analysis → email.
+func TestThreeRuleChain(t *testing.T) {
+	f, rt := fixture(t)
+	var mu sync.Mutex
+	var transfers, analyses, emails []string
+	flow := Flow{
+		Name:   "beamline",
+		Source: "acquisition",
+		Steps: []Step{
+			{
+				Name:    "transfer",
+				Pattern: `{"event_type": ["acquired"]}`,
+				Do: func(run string, doc map[string]any) (map[string]any, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					transfers = append(transfers, run)
+					doc["hpc_path"] = "/scratch/" + run
+					return doc, nil
+				},
+			},
+			{
+				Name: "analyze",
+				Do: func(run string, doc map[string]any) (map[string]any, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					analyses = append(analyses, run)
+					if doc["hpc_path"] == nil {
+						return nil, errors.New("transfer output missing")
+					}
+					doc["score"] = 0.93
+					return doc, nil
+				},
+			},
+			{
+				Name: "email",
+				Do: func(run string, doc map[string]any) (map[string]any, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					emails = append(emails, run)
+					return doc, nil
+				},
+			},
+		},
+	}
+	d, err := Deploy(f, rt, flow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Remove()
+	produceDoc(t, f, "acquisition", "scan-42", map[string]any{"event_type": "acquired", "instrument": "xrd"})
+	// A non-matching event must not start a run.
+	produceDoc(t, f, "acquisition", "scan-43", map[string]any{"event_type": "heartbeat"})
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(emails) == 1
+	}, "three-rule chain")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transfers) != 1 || len(analyses) != 1 {
+		t.Fatalf("chain = %v %v %v", transfers, analyses, emails)
+	}
+	if transfers[0] != "scan-42" || emails[0] != "scan-42" {
+		t.Fatalf("run id lost: %v", emails)
+	}
+	if d.CompletedSteps("scan-42") != 3 {
+		t.Fatalf("completed = %d", d.CompletedSteps("scan-42"))
+	}
+	if d.CompletedSteps("scan-43") != 0 {
+		t.Fatal("heartbeat started a run")
+	}
+}
+
+func TestFinalTopicCarriesCompletions(t *testing.T) {
+	f, rt := fixture(t)
+	flow := Flow{
+		Name:   "simple",
+		Source: "acquisition",
+		Steps: []Step{{
+			Name: "only",
+			Do: func(run string, doc map[string]any) (map[string]any, error) {
+				doc["done"] = true
+				return doc, nil
+			},
+		}},
+	}
+	d, err := Deploy(f, rt, flow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Remove()
+	produceDoc(t, f, "acquisition", "r1", map[string]any{"x": 1})
+	var got StepEvent
+	waitFor(t, func() bool {
+		for p := 0; p < 2; p++ {
+			res, err := f.Fetch("", d.FinalTopic(), p, 0, 10, 0)
+			if err != nil {
+				continue
+			}
+			if len(res.Events) > 0 {
+				se, err := DecodeStepEvent(res.Events[0])
+				if err != nil {
+					t.Error(err)
+					return true
+				}
+				got = se
+				return true
+			}
+		}
+		return false
+	}, "final completion")
+	if got.Flow != "simple" || got.Step != "only" || got.Run != "r1" {
+		t.Fatalf("completion = %+v", got)
+	}
+	if got.Doc["done"] != true {
+		t.Fatalf("doc = %v", got.Doc)
+	}
+}
+
+func TestStepErrorRetriesThenRuns(t *testing.T) {
+	f, rt := fixture(t)
+	var mu sync.Mutex
+	attempts := 0
+	flow := Flow{
+		Name:   "flaky",
+		Source: "acquisition",
+		Steps: []Step{{
+			Name: "transfer",
+			Do: func(run string, doc map[string]any) (map[string]any, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				attempts++
+				if attempts == 1 {
+					return nil, errors.New("transient transfer failure")
+				}
+				return doc, nil
+			},
+		}},
+	}
+	d, err := Deploy(f, rt, flow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Remove()
+	produceDoc(t, f, "acquisition", "r", map[string]any{"x": 1})
+	waitFor(t, func() bool { return d.CompletedSteps("r") == 1 }, "retry then complete")
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+}
+
+func TestParallelRunsKeepDistinctIDs(t *testing.T) {
+	f, rt := fixture(t)
+	var mu sync.Mutex
+	runs := map[string]int{}
+	flow := Flow{
+		Name:   "par",
+		Source: "acquisition",
+		Steps: []Step{
+			{Name: "a", Do: func(run string, doc map[string]any) (map[string]any, error) { return doc, nil }},
+			{Name: "b", Do: func(run string, doc map[string]any) (map[string]any, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				runs[run]++
+				return doc, nil
+			}},
+		},
+	}
+	d, err := Deploy(f, rt, flow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Remove()
+	for i := 0; i < 8; i++ {
+		produceDoc(t, f, "acquisition", "", map[string]any{"run": string(rune('a' + i))})
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(runs) == 8
+	}, "parallel runs")
+	mu.Lock()
+	defer mu.Unlock()
+	for run, n := range runs {
+		if n != 1 {
+			t.Fatalf("run %q executed step b %d times", run, n)
+		}
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	f, rt := fixture(t)
+	if _, err := Deploy(f, rt, Flow{Source: "acquisition"}, ""); !errors.Is(err, ErrNoSteps) {
+		t.Fatalf("no steps: %v", err)
+	}
+	if _, err := Deploy(f, rt, Flow{Steps: []Step{{Name: "s", Do: func(string, map[string]any) (map[string]any, error) { return nil, nil }}}}, ""); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("no source: %v", err)
+	}
+}
+
+func TestRemoveStopsTriggers(t *testing.T) {
+	f, rt := fixture(t)
+	var mu sync.Mutex
+	count := 0
+	flow := Flow{
+		Name:   "rm",
+		Source: "acquisition",
+		Steps: []Step{{Name: "s", Do: func(run string, doc map[string]any) (map[string]any, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			count++
+			return doc, nil
+		}}},
+	}
+	d, err := Deploy(f, rt, flow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	produceDoc(t, f, "acquisition", "one", map[string]any{"x": 1})
+	waitFor(t, func() bool { return d.CompletedSteps("one") == 1 }, "first run")
+	d.Remove()
+	produceDoc(t, f, "acquisition", "two", map[string]any{"x": 2})
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("flow ran after Remove: count = %d", count)
+	}
+}

@@ -1,0 +1,136 @@
+package fsmon
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBurstShape(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{FilesPerBurst: 10, ModifiesPerFile: 4, DeleteFraction: 0.5})
+	burst := g.Burst(t0)
+	if len(burst) != g.EventsPerBurst() {
+		t.Fatalf("burst = %d events, EventsPerBurst = %d", len(burst), g.EventsPerBurst())
+	}
+	counts := map[OpType]int{}
+	for _, ev := range burst {
+		counts[ev.Type]++
+	}
+	if counts[OpCreate] != 10 {
+		t.Fatalf("creates = %d", counts[OpCreate])
+	}
+	if counts[OpModify] != 40 {
+		t.Fatalf("modifies = %d", counts[OpModify])
+	}
+	if counts[OpDelete] != 5 {
+		t.Fatalf("deletes = %d", counts[OpDelete])
+	}
+}
+
+func TestBurstsAreDeterministic(t *testing.T) {
+	g1 := NewGenerator(GeneratorConfig{Seed: 42})
+	g2 := NewGenerator(GeneratorConfig{Seed: 42})
+	b1, b2 := g1.Burst(t0), g2.Burst(t0)
+	if len(b1) != len(b2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, b1[i], b2[i])
+		}
+	}
+}
+
+func TestBurstPathsAreUniquePerBurst(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{})
+	seen := map[string]bool{}
+	for b := 0; b < 3; b++ {
+		for _, ev := range g.Burst(t0) {
+			if ev.Type == OpCreate {
+				if seen[ev.Path] {
+					t.Fatalf("duplicate created path %s", ev.Path)
+				}
+				seen[ev.Path] = true
+			}
+		}
+	}
+}
+
+func TestDocMatchesListing1Shape(t *testing.T) {
+	ev := FSEvent{Type: OpCreate, Path: "/fs1/x", FS: "fs1"}
+	doc := ev.Doc()
+	val, ok := doc["value"].(map[string]any)
+	if !ok {
+		t.Fatalf("doc = %v", doc)
+	}
+	if val["event_type"] != "created" || val["path"] != "/fs1/x" {
+		t.Fatalf("value = %v", val)
+	}
+}
+
+func TestAggregatorDeduplicatesModifyStorms(t *testing.T) {
+	a := NewAggregator(time.Minute)
+	var evs []FSEvent
+	// One file modified 10 times within the window.
+	for i := 0; i < 10; i++ {
+		evs = append(evs, FSEvent{Type: OpModify, Path: "/f", Time: t0.Add(time.Duration(i) * time.Second)})
+	}
+	out := a.Filter(evs)
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d of 10 duplicate modifies", len(out))
+	}
+	// After the window, the next modify forwards again.
+	out = a.Filter([]FSEvent{{Type: OpModify, Path: "/f", Time: t0.Add(2 * time.Minute)}})
+	if len(out) != 1 {
+		t.Fatalf("post-window modify suppressed")
+	}
+}
+
+func TestAggregatorAlwaysForwardsCreatesAndDeletes(t *testing.T) {
+	a := NewAggregator(time.Minute)
+	evs := []FSEvent{
+		{Type: OpCreate, Path: "/f", Time: t0},
+		{Type: OpCreate, Path: "/f", Time: t0},
+		{Type: OpDelete, Path: "/f", Time: t0},
+	}
+	out := a.Filter(evs)
+	if len(out) != 3 {
+		t.Fatalf("forwarded %d of 3", len(out))
+	}
+}
+
+func TestAggregatorTypeFilter(t *testing.T) {
+	a := NewAggregator(time.Minute)
+	a.ForwardTypes = map[OpType]bool{OpCreate: true} // creates only
+	out := a.Filter([]FSEvent{
+		{Type: OpCreate, Path: "/a", Time: t0},
+		{Type: OpModify, Path: "/a", Time: t0},
+		{Type: OpDelete, Path: "/a", Time: t0},
+	})
+	if len(out) != 1 || out[0].Type != OpCreate {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestReductionFactor(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{FilesPerBurst: 8, ModifiesPerFile: 20})
+	a := NewAggregator(time.Hour)
+	for b := 0; b < 5; b++ {
+		a.Filter(g.Burst(t0.Add(time.Duration(b) * time.Second)))
+	}
+	// 20 modifies per file collapse to 1: expect substantial reduction.
+	if rf := a.ReductionFactor(); rf < 5 {
+		t.Fatalf("reduction = %.1f, want >= 5", rf)
+	}
+	if a.In <= a.Out {
+		t.Fatal("aggregation did not reduce volume")
+	}
+}
+
+func TestReductionFactorEmpty(t *testing.T) {
+	a := NewAggregator(time.Minute)
+	if a.ReductionFactor() != 0 {
+		t.Fatal("empty aggregator should report 0")
+	}
+}

@@ -1,0 +1,256 @@
+// Package metrics provides the lightweight instrumentation used across
+// Octopus: counters, gauges, latency histograms with percentile queries,
+// and time-series recorders for the figures in the evaluation. It stands
+// in for the CloudWatch/Grafana monitoring stack of the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records duration observations and answers percentile queries.
+// It keeps exact samples up to a cap and then switches to reservoir
+// sampling, which is accurate enough for P50/P99 reporting at the volumes
+// the benchmarks generate.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+	count   int64
+	sum     float64
+	max     float64
+	cap     int
+	rng     uint64
+}
+
+// NewHistogram creates a histogram retaining up to capSamples samples
+// (8192 if capSamples <= 0).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 8192
+	}
+	return &Histogram{cap: capSamples, rng: 0x9E3779B97F4A7C15}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveMs(float64(d) / float64(time.Millisecond)) }
+
+// ObserveMs records a latency expressed in milliseconds.
+func (h *Histogram) ObserveMs(ms float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += ms
+	if ms > h.max {
+		h.max = ms
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, ms)
+		return
+	}
+	// Vitter's Algorithm R reservoir replacement.
+	h.rng = h.rng*6364136223846793005 + 1442695040888963407
+	idx := int(h.rng % uint64(h.count))
+	if idx < h.cap {
+		h.samples[idx] = ms
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation in milliseconds.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the maximum observation in milliseconds.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0..1) in milliseconds.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile in milliseconds.
+func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
+
+// P99 returns the 99th percentile in milliseconds.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series records a named time series, used to regenerate the figure data
+// (queue depth over time, concurrent invocations over time, ...).
+type Series struct {
+	mu     sync.Mutex
+	Name   string
+	points []Point
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends a sample.
+func (s *Series) Record(t time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Points returns a copy of the samples in record order.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// MaxValue returns the largest recorded value, or 0 if empty.
+func (s *Series) MaxValue() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := 0.0
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Registry is a named collection of metrics, one per component instance.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as sorted "name value" lines, in the
+// spirit of a Prometheus exposition, for the admin consoles.
+func (r *Registry) Snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for n, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.Value()))
+	}
+	for n, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%.2fms p99=%.2fms", n, h.Count(), h.Median(), h.P99()))
+	}
+	sort.Strings(lines)
+	return lines
+}

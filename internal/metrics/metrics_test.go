@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramExactQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.ObserveMs(float64(i))
+	}
+	if got := h.Median(); math.Abs(got-50.5) > 1 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := h.P99(); math.Abs(got-99) > 1.5 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Median() != 0 || h.P99() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(250 * time.Millisecond)
+	if got := h.Median(); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("median = %v ms", got)
+	}
+}
+
+func TestHistogramReservoirStaysBounded(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 0; i < 10000; i++ {
+		h.ObserveMs(float64(i % 50))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if len(h.samples) != 100 {
+		t.Fatalf("samples = %d, want capped at 100", len(h.samples))
+	}
+	// All values are in [0,50), so quantiles must be too.
+	if q := h.Quantile(0.5); q < 0 || q >= 50 {
+		t.Fatalf("median = %v out of range", q)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.ObserveMs(v)
+		}
+		q1 := h.Quantile(0.25)
+		q2 := h.Quantile(0.5)
+		q3 := h.Quantile(0.99)
+		return q1 <= q2 && q2 <= q3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesRecordsInOrder(t *testing.T) {
+	s := NewSeries("queue_depth")
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		s.Record(base.Add(time.Duration(i)*time.Second), float64(i*10))
+	}
+	pts := s.Points()
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[4].V != 40 {
+		t.Fatalf("last = %v", pts[4])
+	}
+	if s.MaxValue() != 40 {
+		t.Fatalf("max = %v", s.MaxValue())
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("counter not shared")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	if r.Gauge("g").Value() != 7 {
+		t.Fatal("gauge not shared")
+	}
+	h := r.Histogram("h")
+	h.ObserveMs(1)
+	if r.Histogram("h").Count() != 1 {
+		t.Fatal("histogram not shared")
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(1)
+	lines := r.Snapshot()
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("not sorted: %v", lines)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package mirror replicates topics between fabrics, the role Kafka
+// MirrorMaker plays in §IV-F ("Topics may be replicated and synchronized
+// by using the Kafka MirrorMaker tool") for cross-region reliability.
+// A Mirror consumes a topic on the source fabric and re-produces every
+// event to the destination, preserving keys and headers, with
+// at-least-once semantics driven by committed offsets.
+package mirror
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// Config controls a mirror flow.
+type Config struct {
+	// Topic is the source topic; DestTopic defaults to the same name.
+	Topic     string
+	DestTopic string
+	// Group is the mirror's consumer group on the source
+	// (default "mirror-<topic>").
+	Group string
+	// BatchSize bounds one transfer (default 500).
+	BatchSize int
+	// Poll is the idle poll interval (default 50 ms).
+	Poll time.Duration
+	// Clock supplies time (default real).
+	Clock vclock.Clock
+}
+
+func (c *Config) fill() error {
+	if c.Topic == "" {
+		return fmt.Errorf("mirror: config needs a Topic")
+	}
+	if c.DestTopic == "" {
+		c.DestTopic = c.Topic
+	}
+	if c.Group == "" {
+		c.Group = "mirror-" + c.Topic
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 500
+	}
+	if c.Poll <= 0 {
+		c.Poll = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	return nil
+}
+
+// Mirror copies one topic between two fabrics.
+type Mirror struct {
+	cfg  Config
+	src  client.Transport
+	dst  client.Transport
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	copied  int64
+	started bool
+	stopped bool
+}
+
+// New builds a mirror between transports. The destination topic is
+// created on demand if dstFabric is non-nil.
+func New(src, dst client.Transport, dstFabric *broker.Fabric, cfg Config) (*Mirror, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	// Ensure the destination topic exists, mirroring source partitioning.
+	meta, err := src.TopicMeta(cfg.Topic)
+	if err != nil {
+		return nil, fmt.Errorf("mirror: source topic: %w", err)
+	}
+	if dstFabric != nil {
+		if _, err := dstFabric.CreateTopic(cfg.DestTopic, "", cluster.TopicConfig{
+			Partitions:        meta.Config.Partitions,
+			ReplicationFactor: meta.Config.ReplicationFactor,
+			Retention:         meta.Config.Retention,
+		}); err != nil && err != cluster.ErrTopicExists {
+			// Idempotent create returns the existing topic for the same
+			// owner; a genuine conflict is fatal.
+			if _, terr := dstFabric.Ctl.Topic(cfg.DestTopic); terr != nil {
+				return nil, fmt.Errorf("mirror: destination topic: %w", err)
+			}
+		}
+	}
+	return &Mirror{cfg: cfg, src: src, dst: dst, stop: make(chan struct{})}, nil
+}
+
+// Start launches the replication loop.
+func (m *Mirror) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.run()
+}
+
+// Stop halts replication and waits for the loop to exit.
+func (m *Mirror) Stop() {
+	m.mu.Lock()
+	if m.stopped || !m.started {
+		m.stopped = true
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// Copied returns the number of events replicated so far.
+func (m *Mirror) Copied() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.copied
+}
+
+func (m *Mirror) run() {
+	defer m.wg.Done()
+	meta, err := m.src.TopicMeta(m.cfg.Topic)
+	if err != nil {
+		return
+	}
+	positions := make(map[int]int64, meta.Config.Partitions)
+	for p := 0; p < meta.Config.Partitions; p++ {
+		if off := m.src.Committed(m.cfg.Group, m.cfg.Topic, p); off >= 0 {
+			positions[p] = off
+			continue
+		}
+		start, err := m.src.StartOffset(m.cfg.Topic, p)
+		if err != nil {
+			start = 0
+		}
+		positions[p] = start
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		moved := false
+		for p := range positions {
+			res, err := m.src.Fetch("", m.cfg.Topic, p, positions[p], m.cfg.BatchSize, 0)
+			if err != nil || len(res.Events) == 0 {
+				continue
+			}
+			// Preserve partition affinity: events mirrored to the same
+			// partition index keep their relative order.
+			if _, err := m.dst.Produce("", m.cfg.DestTopic, p, res.Events, broker.AcksLeader); err != nil {
+				continue // retry next round; offsets uncommitted
+			}
+			last := res.Events[len(res.Events)-1].Offset + 1
+			positions[p] = last
+			if f, ok := m.src.(*client.Direct); ok {
+				f.Fabric.Groups.CommitDirect(m.cfg.Group, m.cfg.Topic, p, last)
+			}
+			m.mu.Lock()
+			m.copied += int64(len(res.Events))
+			m.mu.Unlock()
+			moved = true
+		}
+		if !moved {
+			select {
+			case <-m.stop:
+				return
+			case <-m.cfg.Clock.After(m.cfg.Poll):
+			}
+		}
+	}
+}

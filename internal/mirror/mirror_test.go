@@ -1,0 +1,176 @@
+package mirror
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+func twoFabrics(t *testing.T) (*broker.Fabric, *broker.Fabric) {
+	t.Helper()
+	mk := func() *broker.Fabric {
+		f := broker.NewFabric(nil)
+		if err := f.AddBrokers(2, 2, 8); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	return mk(), mk()
+}
+
+func produceN(t *testing.T, f *broker.Fabric, topic string, n int) {
+	t.Helper()
+	evs := make([]event.Event, n)
+	for i := range evs {
+		evs[i] = event.Event{Key: []byte(fmt.Sprintf("k%d", i%4)), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if _, err := f.Produce("", topic, -1, evs, broker.AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitCopied(t *testing.T, m *Mirror, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Copied() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("copied = %d, want %d", m.Copied(), want)
+}
+
+func TestMirrorCopiesExistingAndNewEvents(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := src.CreateTopic("geo", "", cluster.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, src, "geo", 50)
+	m, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "geo", Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	waitCopied(t, m, 50)
+	// Events produced after the mirror started also replicate.
+	produceN(t, src, "geo", 25)
+	waitCopied(t, m, 75)
+	// Destination holds everything, partition-aligned.
+	var total int64
+	for p := 0; p < 2; p++ {
+		srcEnd, _ := src.EndOffset("geo", p)
+		dstEnd, _ := dst.EndOffset("geo", p)
+		if srcEnd != dstEnd {
+			t.Fatalf("partition %d: src %d != dst %d", p, srcEnd, dstEnd)
+		}
+		total += dstEnd
+	}
+	if total != 75 {
+		t.Fatalf("total mirrored = %d", total)
+	}
+}
+
+func TestMirrorPreservesOrderWithinPartition(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := src.CreateTopic("ord", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, src, "ord", 30)
+	m, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "ord", Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	waitCopied(t, m, 30)
+	res, err := dst.Fetch("", "ord", 0, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range res.Events {
+		if string(ev.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("order broken at %d: %s", i, ev.Value)
+		}
+	}
+}
+
+func TestMirrorRenamesTopic(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := src.CreateTopic("a", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, src, "a", 5)
+	m, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "a", DestTopic: "b", Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	waitCopied(t, m, 5)
+	end, err := dst.EndOffset("b", 0)
+	if err != nil || end != 5 {
+		t.Fatalf("dest topic b end = %d, %v", end, err)
+	}
+}
+
+func TestMirrorResumesFromCommit(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := src.CreateTopic("r", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, src, "r", 10)
+	m1, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "r", Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Start()
+	waitCopied(t, m1, 10)
+	m1.Stop()
+	// More events arrive while the mirror is down.
+	produceN(t, src, "r", 10)
+	m2, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "r", Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	defer m2.Stop()
+	waitCopied(t, m2, 10) // only the new 10; no duplicates
+	end, _ := dst.EndOffset("r", 0)
+	if end != 20 {
+		t.Fatalf("dest end = %d, want 20 (no dupes, no loss)", end)
+	}
+}
+
+func TestMirrorMissingSourceTopic(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "ghost"}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestMirrorConfigValidation(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{}); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+}
+
+func TestMirrorStopIsIdempotent(t *testing.T) {
+	src, dst := twoFabrics(t)
+	if _, err := src.CreateTopic("x", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(client.NewDirect(src), client.NewDirect(dst), dst, Config{Topic: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Stop() // never started
+	m.Stop()
+}

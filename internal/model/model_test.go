@@ -1,0 +1,225 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/broker"
+)
+
+func wl(size int, acks broker.Acks, parts, rf int, loc Locality) Workload {
+	return Workload{EventSize: size, Acks: acks, Partitions: parts, ReplicationFactor: rf, Locality: loc}
+}
+
+// closeTo checks |got-want|/want <= tol.
+func closeTo(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.0f, want %.0f (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestTable3Anchors verifies the model reproduces the paper's anchor
+// cells within 5 %.
+func TestTable3Anchors(t *testing.T) {
+	cases := []struct {
+		name    string
+		cluster ClusterSpec
+		w       Workload
+		prod    float64
+		cons    float64
+	}{
+		{"exp1-local", Baseline, wl(32, broker.AcksNone, 2, 2, Local), 4.289e6, 9.84e6},
+		{"exp1-remote", Baseline, wl(32, broker.AcksNone, 2, 2, Remote), 4.202e6, 9.646e6},
+		{"exp2-local", Baseline, wl(1024, broker.AcksNone, 2, 2, Local), 195e3, 356e3},
+		{"exp2-remote", Baseline, wl(1024, broker.AcksNone, 2, 2, Remote), 174e3, 367e3},
+		{"exp3-local", Baseline, wl(1024, broker.AcksLeader, 2, 2, Local), 161e3, 356e3},
+		{"exp3-remote", Baseline, wl(1024, broker.AcksLeader, 2, 2, Remote), 143e3, 367e3},
+		{"exp4-local", Baseline, wl(1024, broker.AcksAll, 2, 2, Local), 65e3, 356e3},
+		{"exp5-local", Baseline, wl(4096, broker.AcksNone, 2, 2, Local), 43e3, 91e3},
+		{"exp5-remote", Baseline, wl(4096, broker.AcksNone, 2, 2, Remote), 39e3, 94e3},
+		{"exp6-local", Baseline, wl(1024, broker.AcksNone, 4, 2, Local), 202e3, 374e3},
+		{"exp8-local", ScaleOut, wl(1024, broker.AcksNone, 4, 2, Local), 319e3, 785e3},
+		{"exp8-remote", ScaleOut, wl(1024, broker.AcksNone, 4, 2, Remote), 303e3, 813e3},
+		{"exp9-local", ScaleOut, wl(1024, broker.AcksNone, 4, 4, Local), 246e3, 777e3},
+	}
+	for _, c := range cases {
+		closeTo(t, c.name+"/prod", ProducerThroughput(c.cluster, c.w), c.prod, 0.05)
+		closeTo(t, c.name+"/cons", ConsumerThroughput(c.cluster, c.w), c.cons, 0.06)
+	}
+}
+
+// TestScaleUpRow checks experiment 7 within a looser band (the
+// remote-damping term is approximate).
+func TestScaleUpRow(t *testing.T) {
+	closeTo(t, "exp7-local/prod", ProducerThroughput(ScaleUp, wl(1024, broker.AcksNone, 4, 2, Local)), 238e3, 0.08)
+	closeTo(t, "exp7-remote/prod", ProducerThroughput(ScaleUp, wl(1024, broker.AcksNone, 4, 2, Remote)), 184e3, 0.08)
+	closeTo(t, "exp7-local/cons", ConsumerThroughput(ScaleUp, wl(1024, broker.AcksNone, 4, 2, Local)), 751e3, 0.08)
+}
+
+// TestShapeInvariants verifies the orderings the paper reports, which
+// are the reproduction targets (DESIGN.md "shape targets").
+func TestShapeInvariants(t *testing.T) {
+	base := wl(1024, broker.AcksNone, 2, 2, Local)
+	// acks=0 > acks=1 > acks=all.
+	p0 := ProducerThroughput(Baseline, base)
+	p1 := ProducerThroughput(Baseline, wl(1024, broker.AcksLeader, 2, 2, Local))
+	pa := ProducerThroughput(Baseline, wl(1024, broker.AcksAll, 2, 2, Local))
+	if !(p0 > p1 && p1 > pa) {
+		t.Errorf("acks ordering broken: %f %f %f", p0, p1, pa)
+	}
+	// Read roughly 2x write.
+	ratio := ConsumerThroughput(Baseline, base) / p0
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("read/write ratio = %.2f, want ~2", ratio)
+	}
+	// Bigger events, fewer events/s.
+	if ProducerThroughput(Baseline, wl(32, broker.AcksNone, 2, 2, Local)) <= p0 {
+		t.Error("32 B should beat 1 KB in events/s")
+	}
+	if ProducerThroughput(Baseline, wl(4096, broker.AcksNone, 2, 2, Local)) >= p0 {
+		t.Error("4 KB should trail 1 KB in events/s")
+	}
+	// Scale-out beats scale-up at the same total vCPUs.
+	w4 := wl(1024, broker.AcksNone, 4, 2, Local)
+	if ProducerThroughput(ScaleOut, w4) <= ProducerThroughput(ScaleUp, w4) {
+		t.Error("scale-out should beat scale-up")
+	}
+	// rf=4 cuts writes, leaves reads nearly flat.
+	w9 := wl(1024, broker.AcksNone, 4, 4, Local)
+	if ProducerThroughput(ScaleOut, w9) >= ProducerThroughput(ScaleOut, w4) {
+		t.Error("rf=4 should cut write throughput")
+	}
+	consDrop := ConsumerThroughput(ScaleOut, w4) - ConsumerThroughput(ScaleOut, w9)
+	if consDrop/ConsumerThroughput(ScaleOut, w4) > 0.05 {
+		t.Errorf("rf=4 read drop = %.1f%%, want <5%%", 100*consDrop/ConsumerThroughput(ScaleOut, w4))
+	}
+	// Remote produce trails local (same config).
+	if ProducerThroughput(Baseline, wl(1024, broker.AcksNone, 2, 2, Remote)) >= p0 {
+		t.Error("remote produce should trail local")
+	}
+}
+
+func TestLatencyAnchors(t *testing.T) {
+	// Table III medians at saturation.
+	cases := []struct {
+		name    string
+		cluster ClusterSpec
+		w       Workload
+		med     float64
+	}{
+		{"exp1-local", Baseline, wl(32, broker.AcksNone, 2, 2, Local), 54},
+		{"exp1-remote", Baseline, wl(32, broker.AcksNone, 2, 2, Remote), 86},
+		{"exp2-local", Baseline, wl(1024, broker.AcksNone, 2, 2, Local), 40},
+		{"exp2-remote", Baseline, wl(1024, broker.AcksNone, 2, 2, Remote), 76},
+		{"exp3-local", Baseline, wl(1024, broker.AcksLeader, 2, 2, Local), 49},
+		{"exp4-local", Baseline, wl(1024, broker.AcksAll, 2, 2, Local), 141},
+		{"exp4-remote", Baseline, wl(1024, broker.AcksAll, 2, 2, Remote), 138},
+		{"exp6-local", Baseline, wl(1024, broker.AcksNone, 4, 2, Local), 32},
+		{"exp7-local", ScaleUp, wl(1024, broker.AcksNone, 4, 2, Local), 16},
+		{"exp8-local", ScaleOut, wl(1024, broker.AcksNone, 4, 2, Local), 19},
+		{"exp8-remote", ScaleOut, wl(1024, broker.AcksNone, 4, 2, Remote), 41},
+		{"exp9-local", ScaleOut, wl(1024, broker.AcksNone, 4, 4, Local), 27},
+	}
+	for _, c := range cases {
+		got := MedianLatency(c.cluster, c.w)
+		if math.Abs(got-c.med) > c.med*0.1+1 {
+			t.Errorf("%s median = %.1f, want %.0f", c.name, got, c.med)
+		}
+	}
+}
+
+func TestLatencyRisesWithUtilization(t *testing.T) {
+	w := wl(1024, broker.AcksNone, 2, 2, Remote)
+	low := MedianLatencyAt(Baseline, w, 0.2)
+	high := MedianLatencyAt(Baseline, w, 1.0)
+	if low >= high {
+		t.Errorf("latency not increasing with load: %.1f vs %.1f", low, high)
+	}
+	if p99 := P99LatencyAt(Baseline, w, 1.0); p99 <= high {
+		t.Errorf("p99 (%.1f) should exceed median (%.1f)", p99, high)
+	}
+}
+
+func TestAcksLatencyPenalties(t *testing.T) {
+	med0 := MedianLatency(Baseline, wl(1024, broker.AcksNone, 2, 2, Local))
+	med1 := MedianLatency(Baseline, wl(1024, broker.AcksLeader, 2, 2, Local))
+	medAll := MedianLatency(Baseline, wl(1024, broker.AcksAll, 2, 2, Local))
+	if !(med0 < med1 && med1 < medAll) {
+		t.Errorf("median acks ordering broken: %.1f %.1f %.1f", med0, med1, medAll)
+	}
+}
+
+func TestTriggerThroughput(t *testing.T) {
+	// §V-D: 1 partition → 22 K / 7 K / 2 K ev/s.
+	closeTo(t, "trigger-32B-1p", TriggerThroughput(32, 1), 22e3, 0.02)
+	closeTo(t, "trigger-1KB-1p", TriggerThroughput(1024, 1), 7e3, 0.02)
+	closeTo(t, "trigger-4KB-1p", TriggerThroughput(4096, 1), 2e3, 0.02)
+	// 8 partitions → ~147 K / 39 K / 12 K ("roughly six times faster").
+	closeTo(t, "trigger-32B-8p", TriggerThroughput(32, 8), 147e3, 0.08)
+	ratio := TriggerThroughput(1024, 8) / TriggerThroughput(1024, 1)
+	if ratio < 5.5 || ratio > 7.5 {
+		t.Errorf("8-partition speedup = %.2f, want ~6-7x", ratio)
+	}
+}
+
+func TestTenancyShape(t *testing.T) {
+	// Producer throughput saturates at 4 topics (= 4 brokers).
+	p4 := TenancyProducerThroughput(4)
+	closeTo(t, "tenancy-prod-4", p4, 273e3, 0.01)
+	if TenancyProducerThroughput(8) != p4 || TenancyProducerThroughput(32) != p4 {
+		t.Error("producer tenancy should be flat past 4 topics")
+	}
+	if TenancyProducerThroughput(1) >= p4 {
+		t.Error("producer tenancy should rise 1 -> 4 topics")
+	}
+	// Consumer throughput keeps rising to 16 topics then flattens.
+	c16 := TenancyConsumerThroughput(16)
+	closeTo(t, "tenancy-cons-16", c16, 846e3, 0.01)
+	if !(TenancyConsumerThroughput(1) < TenancyConsumerThroughput(4) &&
+		TenancyConsumerThroughput(4) < c16) {
+		t.Error("consumer tenancy should rise to 16 topics")
+	}
+	if TenancyConsumerThroughput(32) != c16 {
+		t.Error("consumer tenancy should be flat past 16 topics")
+	}
+}
+
+func TestPerProducerRateSaturation(t *testing.T) {
+	w := wl(1024, broker.AcksNone, 2, 2, Remote)
+	cap := ProducerThroughput(Baseline, w)
+	per := PerProducerRate(Baseline, w)
+	// 100 producers should overdrive the cluster; 20 should not.
+	if 100*per <= cap {
+		t.Error("100 producers should saturate the baseline cluster")
+	}
+	if 20*per >= cap {
+		t.Error("20 producers should not saturate")
+	}
+}
+
+func TestInterpolationMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for size := 32; size <= 4096; size *= 2 {
+		r := ProducerThroughput(Baseline, wl(size, broker.AcksNone, 2, 2, Local))
+		if r >= prev {
+			t.Errorf("throughput not decreasing in size at %d: %.0f >= %.0f", size, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestClusterSpecAccessors(t *testing.T) {
+	if Baseline.VCPUs() != 2 || Baseline.MemGB() != 8 {
+		t.Errorf("baseline specs: %d vCPU / %d GB", Baseline.VCPUs(), Baseline.MemGB())
+	}
+	if ScaleUp.VCPUs() != 4 || ScaleUp.MemGB() != 16 {
+		t.Errorf("scale-up specs: %d vCPU / %d GB", ScaleUp.VCPUs(), ScaleUp.MemGB())
+	}
+	if Local.String() != "local" || Remote.String() != "remote" {
+		t.Error("locality strings")
+	}
+}

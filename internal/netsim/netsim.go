@@ -1,0 +1,212 @@
+// Package netsim simulates the network between clients and the
+// cloud-hosted fabric. The paper's evaluation splits clients into
+// "local" (EC2 instances in the same region as the MSK cluster) and
+// "remote" (Chameleon Cloud at TACC, 46–47 ms median RTT with <0.1 %
+// deviation, §V-A). netsim wraps a client.Transport and injects the
+// corresponding round-trip delay — and, for acks=all produces, the extra
+// intra-cluster replication wait — so that experiments reproduce the
+// local/remote latency split without a WAN.
+package netsim
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/vclock"
+)
+
+// ErrPartitioned reports an operation attempted while the transport is
+// network-partitioned from the fabric (§VII-B: "Network partitions
+// between Octopus' cloud service and producers/consumers may render
+// the system unusable"). It implements Temporary() so the SDK treats it
+// as retryable: producer buffers act as the caching the paper
+// prescribes — events queue client-side and deliver once the partition
+// heals.
+var ErrPartitioned error = partitionError{}
+
+type partitionError struct{}
+
+func (partitionError) Error() string   { return "netsim: network partitioned" }
+func (partitionError) Temporary() bool { return true }
+
+// Profile describes a client's network position.
+type Profile struct {
+	// Name labels the profile ("local", "remote").
+	Name string
+	// RTT is the median round-trip time to the fabric.
+	RTT time.Duration
+	// Jitter is the relative deviation of the RTT (0.001 = 0.1 %).
+	Jitter float64
+}
+
+// Local approximates a same-region EC2 client (~0.5 ms RTT).
+func Local() Profile { return Profile{Name: "local", RTT: 500 * time.Microsecond, Jitter: 0.05} }
+
+// Remote approximates the Chameleon@TACC clients of §V-A: 46–47 ms
+// median RTT, <0.1 % deviation.
+func Remote() Profile { return Profile{Name: "remote", RTT: 46500 * time.Microsecond, Jitter: 0.001} }
+
+// Transport wraps an inner transport, delaying each round trip by the
+// profile's RTT. acks=all produces pay an extra intra-cluster
+// replication round trip per §V-C's acknowledgment experiments.
+type Transport struct {
+	Inner   client.Transport
+	Profile Profile
+	// Clock supplies Sleep; a Virtual clock lets simulations compress
+	// the delays.
+	Clock vclock.Clock
+	// ReplicaRTT is the intra-cluster RTT paid per required follower ack
+	// (default 1 ms, AZ-to-AZ).
+	ReplicaRTT time.Duration
+
+	partitioned atomic.Bool
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+// SetPartitioned toggles a WAN partition: while set, every operation
+// fails with ErrPartitioned after the one-way send delay.
+func (t *Transport) SetPartitioned(p bool) { t.partitioned.Store(p) }
+
+// Partitioned reports the current partition state.
+func (t *Transport) Partitioned() bool { return t.partitioned.Load() }
+
+// checkPartition pays the send delay then fails if partitioned.
+func (t *Transport) checkPartition() error {
+	if t.partitioned.Load() {
+		t.delay(t.Profile.RTT / 2) // the packet leaves, nothing returns
+		return ErrPartitioned
+	}
+	return nil
+}
+
+// New creates a latency-injecting transport.
+func New(inner client.Transport, p Profile, clock vclock.Clock) *Transport {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Transport{Inner: inner, Profile: p, Clock: clock, ReplicaRTT: time.Millisecond, rng: 0x853C49E6748FEA9B}
+}
+
+// delay sleeps one RTT with jitter.
+func (t *Transport) delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.rng = t.rng*6364136223846793005 + 1442695040888963407
+	u := float64(t.rng>>11) / float64(1<<53) // uniform [0,1)
+	t.mu.Unlock()
+	jit := 1 + t.Profile.Jitter*(2*u-1)
+	t.Clock.Sleep(time.Duration(math.Max(0, float64(d)*jit)))
+}
+
+// Produce implements client.Transport. acks=0 pays only the one-way
+// send (the producer does not wait for a response); acks=1 pays a full
+// RTT; acks=all additionally pays the replication wait.
+func (t *Transport) Produce(identity, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
+	if err := t.checkPartition(); err != nil {
+		return 0, err
+	}
+	switch acks {
+	case broker.AcksNone:
+		t.delay(t.Profile.RTT / 2)
+	case broker.AcksLeader:
+		t.delay(t.Profile.RTT)
+	case broker.AcksAll:
+		t.delay(t.Profile.RTT)
+		t.delay(t.ReplicaRTT)
+	}
+	return t.Inner.Produce(identity, topic, partition, evs, acks)
+}
+
+// Fetch implements client.Transport.
+func (t *Transport) Fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int) (broker.FetchResult, error) {
+	if err := t.checkPartition(); err != nil {
+		return broker.FetchResult{}, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.Fetch(identity, topic, partition, offset, maxEvents, maxBytes)
+}
+
+// EndOffset implements client.Transport.
+func (t *Transport) EndOffset(topic string, partition int) (int64, error) {
+	if err := t.checkPartition(); err != nil {
+		return 0, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.EndOffset(topic, partition)
+}
+
+// StartOffset implements client.Transport.
+func (t *Transport) StartOffset(topic string, partition int) (int64, error) {
+	if err := t.checkPartition(); err != nil {
+		return 0, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.StartOffset(topic, partition)
+}
+
+// OffsetForTime implements client.Transport.
+func (t *Transport) OffsetForTime(topic string, partition int, at time.Time) (int64, error) {
+	if err := t.checkPartition(); err != nil {
+		return 0, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.OffsetForTime(topic, partition, at)
+}
+
+// TopicMeta implements client.Transport.
+func (t *Transport) TopicMeta(topic string) (*cluster.TopicMeta, error) {
+	if err := t.checkPartition(); err != nil {
+		return nil, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.TopicMeta(topic)
+}
+
+// JoinGroup implements client.Transport.
+func (t *Transport) JoinGroup(groupID, memberID string, topics []string) (broker.Assignment, error) {
+	if err := t.checkPartition(); err != nil {
+		return broker.Assignment{}, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.JoinGroup(groupID, memberID, topics)
+}
+
+// LeaveGroup implements client.Transport.
+func (t *Transport) LeaveGroup(groupID, memberID string) {
+	t.delay(t.Profile.RTT)
+	t.Inner.LeaveGroup(groupID, memberID)
+}
+
+// Heartbeat implements client.Transport.
+func (t *Transport) Heartbeat(groupID, memberID string) (int, error) {
+	if err := t.checkPartition(); err != nil {
+		return 0, err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.Heartbeat(groupID, memberID)
+}
+
+// Commit implements client.Transport.
+func (t *Transport) Commit(groupID, memberID string, generation int, topic string, partition int, offset int64) error {
+	if err := t.checkPartition(); err != nil {
+		return err
+	}
+	t.delay(t.Profile.RTT)
+	return t.Inner.Commit(groupID, memberID, generation, topic, partition, offset)
+}
+
+// Committed implements client.Transport.
+func (t *Transport) Committed(groupID, topic string, partition int) int64 {
+	t.delay(t.Profile.RTT)
+	return t.Inner.Committed(groupID, topic, partition)
+}

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/vclock"
+)
+
+var origin = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newFixture(t *testing.T) (*broker.Fabric, client.Transport) {
+	t.Helper()
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("t", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return f, client.NewDirect(f)
+}
+
+// fakeClock records sleeps without real delay.
+type fakeClock struct {
+	vclock.Real
+	slept []time.Duration
+}
+
+func (c *fakeClock) Sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+func (c *fakeClock) total() time.Duration {
+	var t time.Duration
+	for _, d := range c.slept {
+		t += d
+	}
+	return t
+}
+
+func TestProfiles(t *testing.T) {
+	l, r := Local(), Remote()
+	if l.RTT >= r.RTT {
+		t.Fatal("local RTT should be far below remote")
+	}
+	// Remote matches the paper: 46-47 ms, <0.1% deviation.
+	if r.RTT < 46*time.Millisecond || r.RTT > 47*time.Millisecond {
+		t.Fatalf("remote RTT = %v", r.RTT)
+	}
+	if r.Jitter > 0.001 {
+		t.Fatalf("remote jitter = %v", r.Jitter)
+	}
+}
+
+func TestAcksDelayStructure(t *testing.T) {
+	_, inner := newFixture(t)
+	clk := &fakeClock{}
+	tr := New(inner, Remote(), clk)
+	ev := []event.Event{{Value: []byte("x")}}
+
+	// acks=0: half RTT (one-way).
+	clk.slept = nil
+	if _, err := tr.Produce("", "t", 0, ev, broker.AcksNone); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.total(); d < 20*time.Millisecond || d > 26*time.Millisecond {
+		t.Fatalf("acks=0 delay = %v, want ~RTT/2", d)
+	}
+
+	// acks=1: full RTT.
+	clk.slept = nil
+	if _, err := tr.Produce("", "t", 0, ev, broker.AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.total(); d < 44*time.Millisecond || d > 49*time.Millisecond {
+		t.Fatalf("acks=1 delay = %v, want ~RTT", d)
+	}
+
+	// acks=all: RTT + replication RTT.
+	clk.slept = nil
+	if _, err := tr.Produce("", "t", 0, ev, broker.AcksAll); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.total(); d <= 46*time.Millisecond {
+		t.Fatalf("acks=all delay = %v, want > RTT", d)
+	}
+}
+
+func TestFetchPaysRTT(t *testing.T) {
+	_, inner := newFixture(t)
+	clk := &fakeClock{}
+	tr := New(inner, Remote(), clk)
+	if _, err := tr.Fetch("", "t", 0, 0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.total(); d < 44*time.Millisecond {
+		t.Fatalf("fetch delay = %v", d)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	_, inner := newFixture(t)
+	clk := &fakeClock{}
+	tr := New(inner, Remote(), clk)
+	for i := 0; i < 200; i++ {
+		if _, err := tr.EndOffset("t", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rtt := float64(Remote().RTT)
+	for _, d := range clk.slept {
+		dev := (float64(d) - rtt) / rtt
+		if dev < -0.0011 || dev > 0.0011 {
+			t.Fatalf("jitter %.5f exceeds 0.1%%", dev)
+		}
+	}
+}
+
+func TestLocalProfileIsFast(t *testing.T) {
+	_, inner := newFixture(t)
+	clk := &fakeClock{}
+	tr := New(inner, Local(), clk)
+	if _, err := tr.EndOffset("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.total(); d > time.Millisecond {
+		t.Fatalf("local delay = %v", d)
+	}
+}
+
+func TestTransportIsFunctionallyTransparent(t *testing.T) {
+	_, inner := newFixture(t)
+	tr := New(inner, Local(), vclock.Real{})
+	if _, err := tr.Produce("", "t", 0, []event.Event{{Value: []byte("a")}}, broker.AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Fetch("", "t", 0, 0, 10, 0)
+	if err != nil || len(res.Events) != 1 || string(res.Events[0].Value) != "a" {
+		t.Fatalf("fetch through netsim: %+v, %v", res, err)
+	}
+	asn, err := tr.JoinGroup("g", "m", []string{"t"})
+	if err != nil || len(asn.Partitions) != 1 {
+		t.Fatalf("join: %+v, %v", asn, err)
+	}
+	if err := tr.Commit("g", "m", asn.Generation, "t", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if off := tr.Committed("g", "t", 0); off != 1 {
+		t.Fatalf("committed = %d", off)
+	}
+	if gen, err := tr.Heartbeat("g", "m"); err != nil || gen != asn.Generation {
+		t.Fatalf("heartbeat: %d, %v", gen, err)
+	}
+	tr.LeaveGroup("g", "m")
+	meta, err := tr.TopicMeta("t")
+	if err != nil || meta.Name != "t" {
+		t.Fatalf("meta: %v", err)
+	}
+	if _, err := tr.StartOffset("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.OffsetForTime("t", 0, origin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionFailsThenHeals(t *testing.T) {
+	_, inner := newFixture(t)
+	tr := New(inner, Local(), vclock.Real{})
+	tr.SetPartitioned(true)
+	if !tr.Partitioned() {
+		t.Fatal("partition flag lost")
+	}
+	if _, err := tr.Produce("", "t", 0, []event.Event{{Value: []byte("x")}}, broker.AcksLeader); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("produce during partition: %v", err)
+	}
+	if _, err := tr.Fetch("", "t", 0, 0, 1, 0); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("fetch during partition: %v", err)
+	}
+	tr.SetPartitioned(false)
+	if _, err := tr.Produce("", "t", 0, []event.Event{{Value: []byte("x")}}, broker.AcksLeader); err != nil {
+		t.Fatalf("produce after heal: %v", err)
+	}
+}
+
+// TestProducerBuffersThroughPartition shows the §VII-B mitigation: the
+// SDK producer's buffer caches events during a partition and delivers
+// them once it heals, with no loss.
+func TestProducerBuffersThroughPartition(t *testing.T) {
+	_, inner := newFixture(t)
+	tr := New(inner, Local(), vclock.Real{})
+	p := client.NewProducer(tr, "t", client.ProducerConfig{
+		Retries:      50,
+		RetryBackoff: time.Millisecond,
+		Linger:       time.Hour, // flush manually
+	})
+	defer p.Close()
+	tr.SetPartitioned(true)
+	for i := 0; i < 10; i++ {
+		if err := p.Send(event.Event{Value: []byte("queued")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Heal the partition while the flush retries.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		tr.SetPartitioned(false)
+	}()
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush through partition: %v", err)
+	}
+	end, err := inner.EndOffset("t", 0)
+	if err != nil || end != 10 {
+		t.Fatalf("delivered %d of 10 after heal, %v", end, err)
+	}
+}

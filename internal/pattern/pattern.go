@@ -1,0 +1,355 @@
+// Package pattern implements the EventBridge-style event pattern language
+// Octopus triggers use for filtering (§IV-D, Listing 1). A pattern is a
+// JSON document whose structure mirrors the event: object fields recurse,
+// and leaf values are arrays of matchers. A pattern matches when every
+// field it mentions matches; absent fields fail unless tested with
+// {"exists": false}.
+//
+// Supported matchers, following the AWS content-filtering syntax:
+//
+//	"literal"                          exact match (string, number, bool, null)
+//	{"prefix": "re"}                   string prefix
+//	{"suffix": "ed"}                   string suffix
+//	{"equals-ignore-case": "ReD"}      case-insensitive equality
+//	{"wildcard": "*.tif"}              glob with '*'
+//	{"anything-but": ["a", "b"]}       negated equality
+//	{"numeric": [">", 0, "<=", 42]}    numeric comparisons
+//	{"exists": true}                   field presence test
+//
+// An array of matchers is an OR; fields are combined with AND.
+package pattern
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Pattern is a compiled event pattern.
+type Pattern struct {
+	fields map[string]*fieldPattern
+}
+
+type fieldPattern struct {
+	// nested is non-nil when the field recurses into a sub-object.
+	nested *Pattern
+	// matchers is the OR-list of leaf matchers.
+	matchers []matcher
+}
+
+type matcher interface {
+	match(v any, present bool) bool
+}
+
+// Compile parses a JSON pattern document.
+func Compile(src []byte) (*Pattern, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(src, &doc); err != nil {
+		return nil, fmt.Errorf("pattern: invalid JSON: %w", err)
+	}
+	return compileObject(doc)
+}
+
+// MustCompile is Compile that panics on error, for static patterns.
+func MustCompile(src string) *Pattern {
+	p, err := Compile([]byte(src))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func compileObject(doc map[string]any) (*Pattern, error) {
+	if len(doc) == 0 {
+		return nil, errors.New("pattern: empty pattern object")
+	}
+	p := &Pattern{fields: make(map[string]*fieldPattern, len(doc))}
+	for key, raw := range doc {
+		switch v := raw.(type) {
+		case map[string]any:
+			nested, err := compileObject(v)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: field %q: %w", key, err)
+			}
+			p.fields[key] = &fieldPattern{nested: nested}
+		case []any:
+			if len(v) == 0 {
+				return nil, fmt.Errorf("pattern: field %q: matcher list is empty", key)
+			}
+			fp := &fieldPattern{}
+			for _, m := range v {
+				cm, err := compileMatcher(m)
+				if err != nil {
+					return nil, fmt.Errorf("pattern: field %q: %w", key, err)
+				}
+				fp.matchers = append(fp.matchers, cm)
+			}
+			p.fields[key] = fp
+		default:
+			return nil, fmt.Errorf("pattern: field %q: value must be an object or an array of matchers", key)
+		}
+	}
+	return p, nil
+}
+
+func compileMatcher(m any) (matcher, error) {
+	switch v := m.(type) {
+	case string, float64, bool, nil:
+		return literalMatcher{want: v}, nil
+	case map[string]any:
+		if len(v) != 1 {
+			return nil, errors.New("matcher object must have exactly one operator")
+		}
+		for op, arg := range v {
+			return compileOp(op, arg)
+		}
+	}
+	return nil, fmt.Errorf("unsupported matcher %v", m)
+}
+
+func compileOp(op string, arg any) (matcher, error) {
+	switch op {
+	case "prefix":
+		s, ok := arg.(string)
+		if !ok {
+			return nil, errors.New("prefix operand must be a string")
+		}
+		return prefixMatcher(s), nil
+	case "suffix":
+		s, ok := arg.(string)
+		if !ok {
+			return nil, errors.New("suffix operand must be a string")
+		}
+		return suffixMatcher(s), nil
+	case "equals-ignore-case":
+		s, ok := arg.(string)
+		if !ok {
+			return nil, errors.New("equals-ignore-case operand must be a string")
+		}
+		return ciMatcher(s), nil
+	case "wildcard":
+		s, ok := arg.(string)
+		if !ok {
+			return nil, errors.New("wildcard operand must be a string")
+		}
+		return wildcardMatcher(s), nil
+	case "anything-but":
+		var list []any
+		switch a := arg.(type) {
+		case []any:
+			list = a
+		default:
+			list = []any{a}
+		}
+		return anythingButMatcher{not: list}, nil
+	case "exists":
+		b, ok := arg.(bool)
+		if !ok {
+			return nil, errors.New("exists operand must be a bool")
+		}
+		return existsMatcher(b), nil
+	case "numeric":
+		terms, ok := arg.([]any)
+		if !ok || len(terms) == 0 || len(terms)%2 != 0 {
+			return nil, errors.New("numeric operand must be [op, value, ...] pairs")
+		}
+		nm := numericMatcher{}
+		for i := 0; i < len(terms); i += 2 {
+			cmp, ok := terms[i].(string)
+			if !ok {
+				return nil, errors.New("numeric comparison operator must be a string")
+			}
+			val, ok := terms[i+1].(float64)
+			if !ok {
+				return nil, errors.New("numeric comparison value must be a number")
+			}
+			switch cmp {
+			case "<", "<=", ">", ">=", "=":
+				nm.terms = append(nm.terms, numericTerm{op: cmp, val: val})
+			default:
+				return nil, fmt.Errorf("unsupported numeric comparison %q", cmp)
+			}
+		}
+		return nm, nil
+	}
+	return nil, fmt.Errorf("unsupported operator %q", op)
+}
+
+// Match reports whether the event document satisfies the pattern.
+func (p *Pattern) Match(doc map[string]any) bool {
+	for key, fp := range p.fields {
+		v, present := doc[key]
+		if fp.nested != nil {
+			sub, ok := v.(map[string]any)
+			if !ok || !fp.nested.Match(sub) {
+				return false
+			}
+			continue
+		}
+		if !matchField(fp.matchers, v, present) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchJSON parses raw JSON and evaluates the pattern against it.
+func (p *Pattern) MatchJSON(raw []byte) bool {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return false
+	}
+	return p.Match(doc)
+}
+
+// matchField evaluates the OR-list. If the event value is an array, any
+// element matching any matcher is a match (EventBridge semantics).
+func matchField(ms []matcher, v any, present bool) bool {
+	values := []any{v}
+	if arr, ok := v.([]any); ok && present {
+		values = arr
+		if len(arr) == 0 {
+			values = []any{nil}
+		}
+	}
+	for _, m := range ms {
+		if _, isExists := m.(existsMatcher); isExists {
+			if m.match(v, present) {
+				return true
+			}
+			continue
+		}
+		if !present {
+			continue
+		}
+		for _, val := range values {
+			if m.match(val, true) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type literalMatcher struct{ want any }
+
+func (m literalMatcher) match(v any, present bool) bool {
+	if !present {
+		return false
+	}
+	if wf, ok := m.want.(float64); ok {
+		vf, ok := v.(float64)
+		return ok && math.Abs(wf-vf) < 1e-12
+	}
+	return v == m.want
+}
+
+type prefixMatcher string
+
+func (m prefixMatcher) match(v any, present bool) bool {
+	s, ok := v.(string)
+	return present && ok && strings.HasPrefix(s, string(m))
+}
+
+type suffixMatcher string
+
+func (m suffixMatcher) match(v any, present bool) bool {
+	s, ok := v.(string)
+	return present && ok && strings.HasSuffix(s, string(m))
+}
+
+type ciMatcher string
+
+func (m ciMatcher) match(v any, present bool) bool {
+	s, ok := v.(string)
+	return present && ok && strings.EqualFold(s, string(m))
+}
+
+type wildcardMatcher string
+
+func (m wildcardMatcher) match(v any, present bool) bool {
+	s, ok := v.(string)
+	if !present || !ok {
+		return false
+	}
+	return globMatch(string(m), s)
+}
+
+// globMatch matches pat against s where '*' matches any run of characters.
+func globMatch(pat, s string) bool {
+	parts := strings.Split(pat, "*")
+	if len(parts) == 1 {
+		return pat == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+type anythingButMatcher struct{ not []any }
+
+func (m anythingButMatcher) match(v any, present bool) bool {
+	if !present {
+		return false
+	}
+	for _, n := range m.not {
+		if (literalMatcher{want: n}).match(v, true) {
+			return false
+		}
+	}
+	return true
+}
+
+type existsMatcher bool
+
+func (m existsMatcher) match(_ any, present bool) bool { return present == bool(m) }
+
+type numericTerm struct {
+	op  string
+	val float64
+}
+
+type numericMatcher struct{ terms []numericTerm }
+
+func (m numericMatcher) match(v any, present bool) bool {
+	f, ok := v.(float64)
+	if !present || !ok {
+		return false
+	}
+	for _, t := range m.terms {
+		switch t.op {
+		case "<":
+			if !(f < t.val) {
+				return false
+			}
+		case "<=":
+			if !(f <= t.val) {
+				return false
+			}
+		case ">":
+			if !(f > t.val) {
+				return false
+			}
+		case ">=":
+			if !(f >= t.val) {
+				return false
+			}
+		case "=":
+			if math.Abs(f-t.val) >= 1e-12 {
+				return false
+			}
+		}
+	}
+	return true
+}

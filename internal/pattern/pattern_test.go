@@ -1,0 +1,204 @@
+package pattern
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatch(t *testing.T, pat, doc string) {
+	t.Helper()
+	p, err := Compile([]byte(pat))
+	if err != nil {
+		t.Fatalf("compile %s: %v", pat, err)
+	}
+	if !p.MatchJSON([]byte(doc)) {
+		t.Fatalf("pattern %s should match %s", pat, doc)
+	}
+}
+
+func mustNotMatch(t *testing.T, pat, doc string) {
+	t.Helper()
+	p, err := Compile([]byte(pat))
+	if err != nil {
+		t.Fatalf("compile %s: %v", pat, err)
+	}
+	if p.MatchJSON([]byte(doc)) {
+		t.Fatalf("pattern %s should NOT match %s", pat, doc)
+	}
+}
+
+// TestListing1Pattern reproduces the paper's Listing 1: invoke the
+// trigger only when event_type is "created".
+func TestListing1Pattern(t *testing.T) {
+	pat := `{"value": {"event_type": ["created"]}}`
+	mustMatch(t, pat, `{"value": {"event_type": "created", "path": "/data/f1"}}`)
+	mustNotMatch(t, pat, `{"value": {"event_type": "modified"}}`)
+	mustNotMatch(t, pat, `{"value": {}}`)
+	mustNotMatch(t, pat, `{"other": 1}`)
+}
+
+func TestLiteralMatchers(t *testing.T) {
+	mustMatch(t, `{"a": ["x", "y"]}`, `{"a": "y"}`)
+	mustNotMatch(t, `{"a": ["x", "y"]}`, `{"a": "z"}`)
+	mustMatch(t, `{"n": [42]}`, `{"n": 42}`)
+	mustNotMatch(t, `{"n": [42]}`, `{"n": 41}`)
+	mustMatch(t, `{"b": [true]}`, `{"b": true}`)
+	mustMatch(t, `{"z": [null]}`, `{"z": null}`)
+	mustNotMatch(t, `{"z": [null]}`, `{"z": 0}`)
+}
+
+func TestAndAcrossFields(t *testing.T) {
+	pat := `{"a": ["1"], "b": ["2"]}`
+	mustMatch(t, pat, `{"a": "1", "b": "2"}`)
+	mustNotMatch(t, pat, `{"a": "1", "b": "3"}`)
+	mustNotMatch(t, pat, `{"a": "1"}`)
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	mustMatch(t, `{"f": [{"prefix": "/data/"}]}`, `{"f": "/data/run7/x.tif"}`)
+	mustNotMatch(t, `{"f": [{"prefix": "/data/"}]}`, `{"f": "/scratch/x"}`)
+	mustMatch(t, `{"f": [{"suffix": ".tif"}]}`, `{"f": "scan.tif"}`)
+	mustNotMatch(t, `{"f": [{"suffix": ".tif"}]}`, `{"f": "scan.h5"}`)
+	mustNotMatch(t, `{"f": [{"prefix": "a"}]}`, `{"f": 5}`)
+}
+
+func TestEqualsIgnoreCase(t *testing.T) {
+	mustMatch(t, `{"s": [{"equals-ignore-case": "CrEaTeD"}]}`, `{"s": "created"}`)
+	mustNotMatch(t, `{"s": [{"equals-ignore-case": "created"}]}`, `{"s": "deleted"}`)
+}
+
+func TestWildcard(t *testing.T) {
+	mustMatch(t, `{"f": [{"wildcard": "/data/*/raw/*.tif"}]}`, `{"f": "/data/run1/raw/a.tif"}`)
+	mustNotMatch(t, `{"f": [{"wildcard": "/data/*/raw/*.tif"}]}`, `{"f": "/data/run1/cooked/a.tif"}`)
+	mustMatch(t, `{"f": [{"wildcard": "*"}]}`, `{"f": "anything"}`)
+	mustMatch(t, `{"f": [{"wildcard": "exact"}]}`, `{"f": "exact"}`)
+	mustNotMatch(t, `{"f": [{"wildcard": "exact"}]}`, `{"f": "exactly"}`)
+	mustMatch(t, `{"f": [{"wildcard": "a*a"}]}`, `{"f": "aba"}`)
+	mustNotMatch(t, `{"f": [{"wildcard": "a*a"}]}`, `{"f": "ab"}`)
+}
+
+func TestAnythingBut(t *testing.T) {
+	mustMatch(t, `{"t": [{"anything-but": ["deleted"]}]}`, `{"t": "created"}`)
+	mustNotMatch(t, `{"t": [{"anything-but": ["deleted"]}]}`, `{"t": "deleted"}`)
+	mustNotMatch(t, `{"t": [{"anything-but": ["a", "b"]}]}`, `{"t": "b"}`)
+	mustNotMatch(t, `{"t": [{"anything-but": "x"}]}`, `{"missing": 1}`)
+}
+
+func TestNumeric(t *testing.T) {
+	mustMatch(t, `{"v": [{"numeric": [">", 0, "<=", 5]}]}`, `{"v": 3}`)
+	mustMatch(t, `{"v": [{"numeric": [">", 0, "<=", 5]}]}`, `{"v": 5}`)
+	mustNotMatch(t, `{"v": [{"numeric": [">", 0, "<=", 5]}]}`, `{"v": 0}`)
+	mustNotMatch(t, `{"v": [{"numeric": [">", 0, "<=", 5]}]}`, `{"v": 6}`)
+	mustMatch(t, `{"v": [{"numeric": ["=", 2.5]}]}`, `{"v": 2.5}`)
+	mustNotMatch(t, `{"v": [{"numeric": [">", 0]}]}`, `{"v": "3"}`)
+}
+
+func TestExists(t *testing.T) {
+	mustMatch(t, `{"x": [{"exists": true}]}`, `{"x": 0}`)
+	mustNotMatch(t, `{"x": [{"exists": true}]}`, `{"y": 0}`)
+	mustMatch(t, `{"x": [{"exists": false}]}`, `{"y": 0}`)
+	mustNotMatch(t, `{"x": [{"exists": false}]}`, `{"x": null}`)
+}
+
+func TestNestedObjects(t *testing.T) {
+	pat := `{"detail": {"state": {"status": ["ok"]}}}`
+	mustMatch(t, pat, `{"detail": {"state": {"status": "ok"}}}`)
+	mustNotMatch(t, pat, `{"detail": {"state": {"status": "bad"}}}`)
+	mustNotMatch(t, pat, `{"detail": {"state": "ok"}}`)
+	mustNotMatch(t, pat, `{"detail": 5}`)
+}
+
+func TestArrayValueSemantics(t *testing.T) {
+	// Any element of the event array matching any matcher is a match.
+	mustMatch(t, `{"tags": ["urgent"]}`, `{"tags": ["routine", "urgent"]}`)
+	mustNotMatch(t, `{"tags": ["urgent"]}`, `{"tags": ["routine"]}`)
+	mustNotMatch(t, `{"tags": ["urgent"]}`, `{"tags": []}`)
+}
+
+func TestOrWithinField(t *testing.T) {
+	pat := `{"t": ["created", {"prefix": "mod"}]}`
+	mustMatch(t, pat, `{"t": "created"}`)
+	mustMatch(t, pat, `{"t": "modified"}`)
+	mustNotMatch(t, pat, `{"t": "deleted"}`)
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`[]`,
+		`{}`,
+		`{"a": []}`,
+		`{"a": "bare"}`,
+		`{"a": [{"prefix": 5}]}`,
+		`{"a": [{"numeric": ["~", 1]}]}`,
+		`{"a": [{"numeric": [">"]}]}`,
+		`{"a": [{"exists": "yes"}]}`,
+		`{"a": [{"unknown-op": 1}]}`,
+		`{"a": [{"prefix": "x", "suffix": "y"}]}`,
+		`{"a": {"nested": {}}}`,
+	}
+	for _, src := range bad {
+		if _, err := Compile([]byte(src)); err == nil {
+			t.Errorf("Compile(%s) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustCompile(`{"a": "bad"}`)
+}
+
+func TestMatchJSONRejectsInvalid(t *testing.T) {
+	p := MustCompile(`{"a": [1]}`)
+	if p.MatchJSON([]byte("{{{")) {
+		t.Fatal("invalid JSON matched")
+	}
+}
+
+// Property: a literal pattern built from a document's own field always
+// matches that document.
+func TestSelfPatternProperty(t *testing.T) {
+	f := func(key string, val string) bool {
+		if key == "" {
+			return true
+		}
+		doc := map[string]any{key: val}
+		patDoc := map[string]any{key: []any{val}}
+		patJSON, _ := json.Marshal(patDoc)
+		p, err := Compile(patJSON)
+		if err != nil {
+			return false
+		}
+		return p.Match(doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobMatchEdgeCases(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"", "", true},
+		{"*", "", true},
+		{"**", "abc", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "acb", false},
+		{"*end", "the end", true},
+		{"start*", "start here", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}

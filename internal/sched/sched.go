@@ -1,0 +1,253 @@
+// Package sched implements the Online Task Scheduling use case (§VI-C):
+// a FaaS scheduler that consumes near-real-time resource telemetry from
+// the event fabric and uses it "to guide subsequent task placement and
+// to train performance prediction models". Placement policies range
+// from telemetry-blind round-robin to the energy-aware policy of the
+// paper's GreenFaaS work; the benchmark harness compares their fleet
+// energy, the design point the use case motivates.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/event"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// Policy selects a resource for the next task.
+type Policy string
+
+// Placement policies.
+const (
+	// PolicyRoundRobin ignores telemetry.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyLeastLoaded places on the lowest-utilization resource.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyEnergyAware minimizes estimated marginal power draw.
+	PolicyEnergyAware Policy = "energy-aware"
+)
+
+// ResourceView is the scheduler's model of one resource, built entirely
+// from consumed telemetry events (the scheduler never touches the
+// resource directly — that is the point of the EDA).
+type ResourceView struct {
+	Name string
+	// EWMA-smoothed observations.
+	CPUUtil    float64
+	PowerWatts float64
+	Running    int
+	// IdleWatts / PeakWatts are regressed online from (util, power)
+	// pairs — the "performance prediction models" of the use case.
+	IdleWatts float64
+	PeakWatts float64
+	LastSeen  time.Time
+	samples   int
+}
+
+// marginalPower predicts the extra watts of one more task from the
+// regressed envelope; resources never observed yet predict pessimally.
+func (v *ResourceView) marginalPower(cores int) float64 {
+	if v.samples == 0 || cores <= 0 {
+		return math.MaxFloat64
+	}
+	cur := float64(v.Running) / float64(cores)
+	next := float64(v.Running+1) / float64(cores)
+	if next > 1 {
+		return math.MaxFloat64
+	}
+	span := v.PeakWatts - v.IdleWatts
+	if span <= 0 {
+		span = 100
+	}
+	return span * (math.Pow(next, 0.9) - math.Pow(cur, 0.9))
+}
+
+// Scheduler consumes telemetry and places tasks.
+type Scheduler struct {
+	policy   Policy
+	consumer *client.Consumer
+	clock    vclock.Clock
+
+	mu    sync.Mutex
+	views map[string]*ResourceView
+	cores map[string]int
+	rr    int
+	// Placements counts tasks per resource, for the benchmark report.
+	Placements map[string]int
+}
+
+// New creates a scheduler consuming telemetry from topic.
+func New(t client.Transport, topic string, policy Policy, clock vclock.Clock) (*Scheduler, error) {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	c := client.NewConsumer(t, client.ConsumerConfig{Start: client.StartEarliest})
+	meta, err := t.TopicMeta(topic)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < meta.Config.Partitions; p++ {
+		if err := c.Assign(topic, p); err != nil {
+			return nil, err
+		}
+	}
+	return &Scheduler{
+		policy:     policy,
+		consumer:   c,
+		clock:      clock,
+		views:      make(map[string]*ResourceView),
+		cores:      make(map[string]int),
+		Placements: make(map[string]int),
+	}, nil
+}
+
+// RegisterResource tells the scheduler a resource's core count (static
+// catalog data; telemetry carries the dynamic part).
+func (s *Scheduler) RegisterResource(name string, cores int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cores[name] = cores
+	if _, ok := s.views[name]; !ok {
+		s.views[name] = &ResourceView{Name: name, IdleWatts: 100, PeakWatts: 400}
+	}
+}
+
+// Ingest drains available telemetry events and updates resource views.
+// It returns the number of events consumed.
+func (s *Scheduler) Ingest() (int, error) {
+	evs, err := s.consumer.Poll(0)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range evs {
+		doc, err := ev.JSON()
+		if err != nil {
+			continue
+		}
+		name, _ := doc["resource"].(string)
+		if name == "" {
+			continue
+		}
+		v, ok := s.views[name]
+		if !ok {
+			v = &ResourceView{Name: name, IdleWatts: 100, PeakWatts: 400}
+			s.views[name] = v
+		}
+		util, _ := doc["cpu_util"].(float64)
+		power, _ := doc["power_watts"].(float64)
+		running, _ := doc["running_tasks"].(float64)
+		const alpha = 0.3
+		if v.samples == 0 {
+			v.CPUUtil, v.PowerWatts = util, power
+		} else {
+			v.CPUUtil = alpha*util + (1-alpha)*v.CPUUtil
+			v.PowerWatts = alpha*power + (1-alpha)*v.PowerWatts
+		}
+		v.Running = int(running)
+		v.LastSeen = ev.Timestamp
+		// Online envelope regression: idle from near-zero-util samples,
+		// peak from high-util samples.
+		if util < 0.05 {
+			v.IdleWatts = alpha*power + (1-alpha)*v.IdleWatts
+		}
+		if util > 0.8 {
+			v.PeakWatts = alpha*power + (1-alpha)*v.PeakWatts
+		}
+		v.samples++
+	}
+	return len(evs), nil
+}
+
+// ErrNoResources reports placement with an empty catalog.
+var ErrNoResources = fmt.Errorf("sched: no resources registered")
+
+// Place selects a resource for one task under the configured policy and
+// records the placement.
+func (s *Scheduler) Place() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.views))
+	for n := range s.views {
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return "", ErrNoResources
+	}
+	sort.Strings(names)
+	var pick string
+	switch s.policy {
+	case PolicyLeastLoaded:
+		best := math.MaxFloat64
+		for _, n := range names {
+			v := s.views[n]
+			load := v.CPUUtil
+			if load < best {
+				best = load
+				pick = n
+			}
+		}
+	case PolicyEnergyAware:
+		best := math.MaxFloat64
+		for _, n := range names {
+			v := s.views[n]
+			mp := v.marginalPower(s.cores[n])
+			if mp < best {
+				best = mp
+				pick = n
+			}
+		}
+		if pick == "" {
+			pick = names[s.rr%len(names)]
+			s.rr++
+		}
+	default: // round robin
+		pick = names[s.rr%len(names)]
+		s.rr++
+	}
+	s.views[pick].Running++
+	s.Placements[pick]++
+	return pick, nil
+}
+
+// Complete releases a placed task.
+func (s *Scheduler) Complete(resource string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.views[resource]; ok && v.Running > 0 {
+		v.Running--
+	}
+}
+
+// View returns a copy of the scheduler's model of a resource.
+func (s *Scheduler) View(name string) (ResourceView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[name]
+	if !ok {
+		return ResourceView{}, false
+	}
+	return *v, true
+}
+
+// Close releases the telemetry consumer.
+func (s *Scheduler) Close() error { return s.consumer.Close() }
+
+// PublishSamples is the monitor side: it samples the fleet and
+// publishes one event per resource to the telemetry topic, as the
+// paper's RAPL/psutil monitor does.
+func PublishSamples(p *client.Producer, fleet *telemetry.Fleet, now time.Time) error {
+	for _, s := range fleet.Samplers {
+		if err := p.Send(event.New(s.Spec.Name, s.Sample(now))); err != nil {
+			return err
+		}
+	}
+	return p.Flush()
+}

@@ -1,0 +1,143 @@
+package sdl
+
+import (
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+)
+
+func newLabFixture(t *testing.T) (*broker.Fabric, client.Transport, *Lab) {
+	t.Helper()
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("lab-log", "", cluster.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tr := client.NewDirect(f)
+	lab := NewLab(tr, "lab-log", nil)
+	t.Cleanup(func() { _ = lab.Close() })
+	return f, tr, lab
+}
+
+func TestExperimentEmitsAllStages(t *testing.T) {
+	_, tr, lab := newLabFixture(t)
+	exp, ok, err := lab.RunExperiment()
+	if err != nil || !ok {
+		t.Fatalf("run: ok=%v err=%v", ok, err)
+	}
+	prov, err := TraceExperiment(tr, "lab-log", exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 stages x (start + complete) = 10 events.
+	if len(prov.Events) != 10 {
+		t.Fatalf("events = %d", len(prov.Events))
+	}
+	if prov.Failed {
+		t.Fatal("successful run marked failed")
+	}
+	// Stage ordering: design first, decide last.
+	if prov.Events[0].Stage != "design" || prov.Events[len(prov.Events)-1].Stage != "decide" {
+		t.Fatalf("order: first=%s last=%s", prov.Events[0].Stage, prov.Events[len(prov.Events)-1].Stage)
+	}
+}
+
+func TestProvenanceIsolatesExperiments(t *testing.T) {
+	_, tr, lab := newLabFixture(t)
+	exp1, _, err := lab.RunExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp2, _, err := lab.RunExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := TraceExperiment(tr, "lab-log", exp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range p1.Events {
+		if ev.Experiment != exp1 {
+			t.Fatalf("leaked event from %s into %s trace", ev.Experiment, exp1)
+		}
+	}
+	if exp1 == exp2 {
+		t.Fatal("experiment ids not unique")
+	}
+}
+
+func TestFailureAppearsInProvenance(t *testing.T) {
+	_, tr, lab := newLabFixture(t)
+	lab.Instruments[StageSynthesize].FailEvery = 1 // fail immediately
+	exp, ok, err := lab.RunExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("run should have failed")
+	}
+	prov, err := TraceExperiment(tr, "lab-log", exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prov.Failed {
+		t.Fatal("failure not visible in provenance")
+	}
+	// The workflow stopped at synthesis: no characterize events.
+	for _, ev := range prov.Events {
+		if ev.Stage == string(StageCharacterize) {
+			t.Fatal("stages continued past the failure")
+		}
+	}
+}
+
+func TestStageCountsDashboard(t *testing.T) {
+	_, tr, lab := newLabFixture(t)
+	for i := 0; i < 5; i++ {
+		if _, _, err := lab.RunExperiment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := StageCounts(tr, "lab-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 experiments x 2 events per stage.
+	for _, stage := range Stages() {
+		if counts[string(stage)] != 10 {
+			t.Fatalf("stage %s count = %d, want 10 (%v)", stage, counts[string(stage)], counts)
+		}
+	}
+}
+
+func TestEventsAreKeyedByExperiment(t *testing.T) {
+	f, _, lab := newLabFixture(t)
+	exp, _, err := lab.RunExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All events of one experiment share a key, so they landed on one
+	// partition in order.
+	nonEmpty := 0
+	for p := 0; p < 2; p++ {
+		res, err := f.Fetch("", "lab-log", p, 0, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Events) > 0 {
+			nonEmpty++
+			for _, ev := range res.Events {
+				if string(ev.Key) != exp {
+					t.Fatalf("key = %q, want %q", ev.Key, exp)
+				}
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one experiment spread over %d partitions", nonEmpty)
+	}
+}

@@ -1,0 +1,271 @@
+// Package store implements the persistence path of Figure 2 ("Events
+// can also be persisted to reliable cloud storage when enabled"): topic
+// archival to durable object storage and restoration from it. S3 is
+// modeled by a directory of immutable, checksummed segment objects —
+// one object per (partition, offset-range) — so archives are
+// incremental, idempotent, and survive fabric restarts.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+// ErrCorrupt reports a failed checksum or truncated archive object.
+var ErrCorrupt = errors.New("store: corrupt archive object")
+
+// Archive persists topics under a root directory, one sub-directory per
+// topic, one object per archived segment:
+//
+//	<root>/<topic>/p<partition>/<firstOffset>-<lastOffset>.seg
+//
+// Object layout: u32 crc of body | body, where body is a sequence of
+// event.Marshal records prefixed by their i64 offsets.
+type Archive struct {
+	Root string
+}
+
+// NewArchive creates (if needed) the root directory.
+func NewArchive(root string) (*Archive, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Archive{Root: root}, nil
+}
+
+func (a *Archive) partDir(topic string, partition int) string {
+	return filepath.Join(a.Root, topic, "p"+strconv.Itoa(partition))
+}
+
+// ArchiveTopic persists every event of the topic not yet archived. It
+// returns the number of newly archived events. Calling it repeatedly is
+// cheap and idempotent: each partition resumes from its high-water
+// mark in the archive.
+func (a *Archive) ArchiveTopic(f *broker.Fabric, topic string) (int, error) {
+	meta, err := f.Ctl.Topic(topic)
+	if err != nil {
+		return 0, err
+	}
+	archived := 0
+	for p := 0; p < meta.Config.Partitions; p++ {
+		n, err := a.archivePartition(f, topic, p)
+		if err != nil {
+			return archived, err
+		}
+		archived += n
+	}
+	return archived, nil
+}
+
+func (a *Archive) archivePartition(f *broker.Fabric, topic string, partition int) (int, error) {
+	dir := a.partDir(topic, partition)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	from := a.highWatermark(dir)
+	end, err := f.EndOffset(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	if start, err := f.StartOffset(topic, partition); err == nil && from < start {
+		from = start // records below retention are gone; archive what remains
+	}
+	if from >= end {
+		return 0, nil
+	}
+	res, err := f.Fetch("", topic, partition, from, int(end-from), 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Events) == 0 {
+		return 0, nil
+	}
+	first := res.Events[0].Offset
+	last := res.Events[len(res.Events)-1].Offset
+	body := encodeObject(res.Events)
+	obj := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(obj, crc32.ChecksumIEEE(body))
+	copy(obj[4:], body)
+	name := filepath.Join(dir, fmt.Sprintf("%020d-%020d.seg", first, last))
+	tmp := name + ".tmp"
+	if err := os.WriteFile(tmp, obj, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		return 0, err
+	}
+	return len(res.Events), nil
+}
+
+// highWatermark returns the offset after the last archived record.
+func (a *Archive) highWatermark(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var hw int64
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimSuffix(e.Name(), ".seg"), "-", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		last, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		if last+1 > hw {
+			hw = last + 1
+		}
+	}
+	return hw
+}
+
+// ReadPartition returns every archived event of a partition in offset
+// order, verifying checksums.
+func (a *Archive) ReadPartition(topic string, partition int) ([]event.Event, error) {
+	dir := a.partDir(topic, partition)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded first offsets sort correctly
+	var out []event.Event
+	for _, name := range names {
+		obj, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		evs, err := decodeObject(obj)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+		}
+		out = append(out, evs...)
+	}
+	return out, nil
+}
+
+// Topics lists archived topic names.
+func (a *Archive) Topics() ([]string, error) {
+	entries, err := os.ReadDir(a.Root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Partitions returns the archived partition ids of a topic.
+func (a *Archive) Partitions(topic string) ([]int, error) {
+	entries, err := os.ReadDir(filepath.Join(a.Root, topic))
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "p") {
+			if id, err := strconv.Atoi(e.Name()[1:]); err == nil {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// RestoreTopic replays an archived topic into a fabric (disaster
+// recovery). The topic is created if missing; events are re-produced in
+// offset order per partition, so per-key ordering survives. Restored
+// offsets are newly assigned (a restore into a non-empty topic appends).
+func (a *Archive) RestoreTopic(f *broker.Fabric, topic string, cfg cluster.TopicConfig) (int, error) {
+	parts, err := a.Partitions(topic)
+	if err != nil {
+		return 0, fmt.Errorf("store: no archive for %s: %w", topic, err)
+	}
+	if cfg.Partitions < len(parts) {
+		cfg.Partitions = len(parts)
+	}
+	if _, err := f.CreateTopic(topic, "", cfg); err != nil && !errors.Is(err, cluster.ErrTopicExists) {
+		return 0, err
+	}
+	restored := 0
+	for _, p := range parts {
+		evs, err := a.ReadPartition(topic, p)
+		if err != nil {
+			return restored, err
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		if _, err := f.Produce("", topic, p, evs, broker.AcksLeader); err != nil {
+			return restored, err
+		}
+		restored += len(evs)
+	}
+	return restored, nil
+}
+
+func encodeObject(evs []event.Event) []byte {
+	var body []byte
+	for i := range evs {
+		body = binary.BigEndian.AppendUint64(body, uint64(evs[i].Offset))
+		body = append(body, evs[i].Marshal()...)
+	}
+	return body
+}
+
+func decodeObject(obj []byte) ([]event.Event, error) {
+	if len(obj) < 4 {
+		return nil, errors.New("short object")
+	}
+	want := binary.BigEndian.Uint32(obj)
+	body := obj[4:]
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, errors.New("checksum mismatch")
+	}
+	var out []event.Event
+	pos := 0
+	for pos < len(body) {
+		if len(body[pos:]) < 8 {
+			return nil, errors.New("truncated offset")
+		}
+		off := int64(binary.BigEndian.Uint64(body[pos:]))
+		pos += 8
+		ev, n, err := event.Unmarshal(body[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		ev.Offset = off
+		out = append(out, ev)
+	}
+	return out, nil
+}

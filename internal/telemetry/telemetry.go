@@ -1,0 +1,183 @@
+// Package telemetry is the resource-monitoring substrate of the Online
+// Task Scheduling use case (§VI-C): per-resource power and utilization
+// samples, the data the paper's Python monitor collects with Intel RAPL
+// and psutil. Real energy counters are unavailable here, so Sampler
+// synthesizes a physically plausible signal: power follows utilization
+// through an idle/peak linear model with deterministic noise, and
+// utilization follows the tasks the resource is running.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sample is one telemetry observation for a resource.
+type Sample struct {
+	Resource string    `json:"resource"`
+	Time     time.Time `json:"time"`
+	// CPUUtil is 0..1 across all cores.
+	CPUUtil float64 `json:"cpu_util"`
+	// PowerWatts is the RAPL package power estimate.
+	PowerWatts float64 `json:"power_watts"`
+	// MemUtil is 0..1.
+	MemUtil float64 `json:"mem_util"`
+	// RunningTasks is the number of tasks currently placed here.
+	RunningTasks int `json:"running_tasks"`
+}
+
+// ResourceSpec describes a managed resource's power envelope.
+type ResourceSpec struct {
+	// Name identifies the resource ("cluster-a/node-3").
+	Name string
+	// Cores is the CPU core count; each running task occupies one core.
+	Cores int
+	// IdleWatts and PeakWatts bound the linear power model.
+	IdleWatts float64
+	PeakWatts float64
+	// EfficiencyJPerTask is the marginal energy per unit task work,
+	// distinguishing efficient from inefficient resources for the
+	// scheduler's placement decisions.
+	EfficiencyJPerTask float64
+}
+
+func (r *ResourceSpec) fill() {
+	if r.Cores <= 0 {
+		r.Cores = 32
+	}
+	if r.IdleWatts == 0 {
+		r.IdleWatts = 90
+	}
+	if r.PeakWatts == 0 {
+		r.PeakWatts = 350
+	}
+	if r.EfficiencyJPerTask == 0 {
+		r.EfficiencyJPerTask = 50
+	}
+}
+
+// Sampler produces telemetry for one resource.
+type Sampler struct {
+	Spec ResourceSpec
+	// running is set by the workload (the scheduler's placements).
+	running int
+	rng     uint64
+}
+
+// NewSampler creates a sampler for the resource.
+func NewSampler(spec ResourceSpec) *Sampler {
+	spec.fill()
+	var seed uint64 = 0x853C49E6748FEA9B
+	for _, c := range spec.Name {
+		seed = seed*31 + uint64(c)
+	}
+	return &Sampler{Spec: spec, rng: seed}
+}
+
+// SetRunning updates the resource's placed-task count.
+func (s *Sampler) SetRunning(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.running = n
+}
+
+// Running returns the placed-task count.
+func (s *Sampler) Running() int { return s.running }
+
+func (s *Sampler) noise() float64 {
+	s.rng = s.rng*6364136223846793005 + 1442695040888963407
+	return (float64(s.rng>>11)/float64(1<<53) - 0.5) * 2 // [-1, 1)
+}
+
+// Sample reads the current synthetic telemetry at time now.
+func (s *Sampler) Sample(now time.Time) Sample {
+	util := float64(s.running) / float64(s.Spec.Cores)
+	if util > 1 {
+		util = 1
+	}
+	// Power: idle + (peak-idle)·util^0.9 (sublinear, as real CPUs are),
+	// plus ±2 % measurement noise.
+	power := s.Spec.IdleWatts + (s.Spec.PeakWatts-s.Spec.IdleWatts)*math.Pow(util, 0.9)
+	power *= 1 + 0.02*s.noise()
+	mem := 0.1 + 0.7*util + 0.02*s.noise()
+	if mem < 0 {
+		mem = 0
+	}
+	if mem > 1 {
+		mem = 1
+	}
+	return Sample{
+		Resource:     s.Spec.Name,
+		Time:         now,
+		CPUUtil:      util,
+		PowerWatts:   power,
+		MemUtil:      mem,
+		RunningTasks: s.running,
+	}
+}
+
+// MarginalPower estimates the extra watts one more task would draw —
+// the quantity an energy-aware scheduler minimizes.
+func (s *Sampler) MarginalPower() float64 {
+	cur := float64(s.running) / float64(s.Spec.Cores)
+	next := float64(s.running+1) / float64(s.Spec.Cores)
+	if next > 1 {
+		// Oversubscribed: marginal power is ~0 but throughput suffers;
+		// report a large penalty so schedulers avoid it.
+		return math.Inf(1)
+	}
+	span := s.Spec.PeakWatts - s.Spec.IdleWatts
+	return span * (math.Pow(next, 0.9) - math.Pow(cur, 0.9))
+}
+
+// Fleet is a convenience set of heterogeneous resources.
+type Fleet struct {
+	Samplers []*Sampler
+}
+
+// NewFleet builds n resources alternating efficient and inefficient
+// profiles, mirroring the paper's federated mix from edge devices to
+// supercomputers.
+func NewFleet(n int) *Fleet {
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		spec := ResourceSpec{Name: fmt.Sprintf("resource-%02d", i)}
+		switch i % 3 {
+		case 0: // efficient HPC node
+			spec.Cores = 64
+			spec.IdleWatts = 120
+			spec.PeakWatts = 300
+		case 1: // mid-range cloud VM
+			spec.Cores = 16
+			spec.IdleWatts = 60
+			spec.PeakWatts = 220
+		default: // power-hungry legacy node
+			spec.Cores = 32
+			spec.IdleWatts = 150
+			spec.PeakWatts = 500
+		}
+		f.Samplers = append(f.Samplers, NewSampler(spec))
+	}
+	return f
+}
+
+// ByName returns the sampler for a resource name.
+func (f *Fleet) ByName(name string) *Sampler {
+	for _, s := range f.Samplers {
+		if s.Spec.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// TotalPower sums instantaneous power across the fleet.
+func (f *Fleet) TotalPower(now time.Time) float64 {
+	var w float64
+	for _, s := range f.Samplers {
+		w += s.Sample(now).PowerWatts
+	}
+	return w
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPowerRisesWithLoad(t *testing.T) {
+	s := NewSampler(ResourceSpec{Name: "n1", Cores: 32, IdleWatts: 100, PeakWatts: 400})
+	s.SetRunning(0)
+	idle := s.Sample(t0).PowerWatts
+	s.SetRunning(32)
+	full := s.Sample(t0).PowerWatts
+	if idle >= full {
+		t.Fatalf("idle %.1f >= full %.1f", idle, full)
+	}
+	if math.Abs(idle-100) > 10 {
+		t.Fatalf("idle power = %.1f, want ~100", idle)
+	}
+	if math.Abs(full-400) > 20 {
+		t.Fatalf("full power = %.1f, want ~400", full)
+	}
+}
+
+func TestUtilClamped(t *testing.T) {
+	s := NewSampler(ResourceSpec{Name: "n", Cores: 4})
+	s.SetRunning(100)
+	if u := s.Sample(t0).CPUUtil; u != 1 {
+		t.Fatalf("util = %v", u)
+	}
+	s.SetRunning(-5)
+	if s.Running() != 0 {
+		t.Fatalf("running = %d", s.Running())
+	}
+}
+
+func TestSampleFieldsPopulated(t *testing.T) {
+	s := NewSampler(ResourceSpec{Name: "node-7"})
+	s.SetRunning(8)
+	sm := s.Sample(t0)
+	if sm.Resource != "node-7" || !sm.Time.Equal(t0) || sm.RunningTasks != 8 {
+		t.Fatalf("sample = %+v", sm)
+	}
+	if sm.MemUtil < 0 || sm.MemUtil > 1 {
+		t.Fatalf("mem = %v", sm.MemUtil)
+	}
+}
+
+func TestMarginalPowerProperties(t *testing.T) {
+	s := NewSampler(ResourceSpec{Name: "n", Cores: 16, IdleWatts: 100, PeakWatts: 300})
+	// Sublinear power: marginal watts shrink as load grows.
+	s.SetRunning(0)
+	first := s.MarginalPower()
+	s.SetRunning(10)
+	later := s.MarginalPower()
+	if first <= later {
+		t.Fatalf("marginal power not diminishing: %.2f then %.2f", first, later)
+	}
+	// Oversubscription is infinitely expensive.
+	s.SetRunning(16)
+	if !math.IsInf(s.MarginalPower(), 1) {
+		t.Fatal("oversubscribed marginal power should be +Inf")
+	}
+}
+
+func TestMarginalPowerNonNegativeProperty(t *testing.T) {
+	f := func(running uint8) bool {
+		s := NewSampler(ResourceSpec{Name: "p", Cores: 64})
+		s.SetRunning(int(running) % 64)
+		return s.MarginalPower() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseIsDeterministicPerName(t *testing.T) {
+	a1 := NewSampler(ResourceSpec{Name: "same"})
+	a2 := NewSampler(ResourceSpec{Name: "same"})
+	a1.SetRunning(4)
+	a2.SetRunning(4)
+	if a1.Sample(t0).PowerWatts != a2.Sample(t0).PowerWatts {
+		t.Fatal("same-named samplers diverge")
+	}
+}
+
+func TestFleetHeterogeneity(t *testing.T) {
+	f := NewFleet(6)
+	if len(f.Samplers) != 6 {
+		t.Fatalf("fleet = %d", len(f.Samplers))
+	}
+	// The three profiles differ in idle power.
+	idle := map[float64]bool{}
+	for _, s := range f.Samplers[:3] {
+		idle[s.Spec.IdleWatts] = true
+	}
+	if len(idle) != 3 {
+		t.Fatalf("profiles not heterogeneous: %v", idle)
+	}
+	if f.ByName("resource-02") == nil {
+		t.Fatal("ByName failed")
+	}
+	if f.ByName("ghost") != nil {
+		t.Fatal("ByName invented a resource")
+	}
+	if f.TotalPower(t0) <= 0 {
+		t.Fatal("total power should be positive")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	s := NewSampler(ResourceSpec{Name: "d"})
+	if s.Spec.Cores <= 0 || s.Spec.PeakWatts <= s.Spec.IdleWatts {
+		t.Fatalf("defaults = %+v", s.Spec)
+	}
+}

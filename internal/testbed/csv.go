@@ -1,0 +1,130 @@
+package testbed
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// CSV export: each figure's data as plottable files, so downstream
+// users can regenerate the paper's plots with any tool. Used by
+// `octopus-bench -csv <dir>`.
+
+// WriteCSV renders a Table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeSeriesCSV writes (t_seconds, value) pairs relative to the first
+// sample.
+func writeSeriesCSV(w io.Writer, name string, s *metrics.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", name}); err != nil {
+		return err
+	}
+	pts := s.Points()
+	if len(pts) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	t0 := pts[0].T
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.T.Sub(t0).Seconds(), 'f', 1, 64),
+			strconv.FormatFloat(p.V, 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV writes every experiment's data into dir, one file per
+// artifact, and returns the file names written.
+func ExportCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	save := func(name string, fn func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	if err := save("table1_use_cases.csv", Table1().WriteCSV); err != nil {
+		return written, err
+	}
+	if err := save("table2_clusters.csv", Table2().WriteCSV); err != nil {
+		return written, err
+	}
+	if err := save("table3_performance.csv", Table3().WriteCSV); err != nil {
+		return written, err
+	}
+	for i, t := range Figure3() {
+		if err := save(fmt.Sprintf("figure3_series%d.csv", i+1), t.WriteCSV); err != nil {
+			return written, err
+		}
+	}
+	fig4 := RunFigure4(DefaultFig4Config())
+	if err := save("figure4_queue_depth.csv", func(w io.Writer) error {
+		return writeSeriesCSV(w, "queue_depth", fig4.QueueDepth)
+	}); err != nil {
+		return written, err
+	}
+	if err := save("figure4_concurrency.csv", func(w io.Writer) error {
+		return writeSeriesCSV(w, "concurrent_invocations", fig4.Concurrency)
+	}); err != nil {
+		return written, err
+	}
+	if err := save("figure5_tenancy.csv", Figure5().WriteCSV); err != nil {
+		return written, err
+	}
+	fig7 := RunFigure7(DefaultFig7Config())
+	if err := save("figure7_queue_depth.csv", func(w io.Writer) error {
+		return writeSeriesCSV(w, "fs_queue_depth", fig7.QueueDepth)
+	}); err != nil {
+		return written, err
+	}
+	if err := save("figure7_concurrency.csv", func(w io.Writer) error {
+		return writeSeriesCSV(w, "transfer_invocations", fig7.Concurrency)
+	}); err != nil {
+		return written, err
+	}
+	for i, t := range Figure8() {
+		if err := save(fmt.Sprintf("figure8_grid%d.csv", i+1), t.WriteCSV); err != nil {
+			return written, err
+		}
+	}
+	if err := save("cost_model.csv", CostTable().WriteCSV); err != nil {
+		return written, err
+	}
+	if err := save("trigger_throughput.csv", TriggerThroughputTable().WriteCSV); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,462 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fsmon"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/trigger"
+	"repro/internal/vclock"
+	"repro/internal/wfmon"
+)
+
+// --- Figure 3: latency vs throughput for configurations 1–6 ---
+
+// Fig3Point is one (producers, throughput, latency) sample.
+type Fig3Point struct {
+	Producers  int
+	Throughput float64
+	MedianMs   float64
+	P99Ms      float64
+}
+
+// Fig3Series is one experiment's sweep over producer counts.
+type Fig3Series struct {
+	Label  string
+	Points []Fig3Point
+}
+
+// RunFigure3 sweeps 20..100 remote producers for experiments 1–6 on the
+// baseline cluster, as in Figure 3: throughput rises with producers
+// until the cluster saturates, and latency climbs with utilization.
+func RunFigure3() []Fig3Series {
+	var out []Fig3Series
+	for _, exp := range Table3Experiments()[:6] {
+		w := model.Workload{
+			EventSize:         exp.EventSize,
+			Acks:              exp.Acks,
+			Partitions:        exp.Partitions,
+			ReplicationFactor: exp.RepFactor,
+			Locality:          model.Remote,
+		}
+		cap := model.ProducerThroughput(exp.Cluster, w)
+		perProd := model.PerProducerRate(exp.Cluster, w)
+		s := Fig3Series{Label: fig3Label(exp)}
+		for _, n := range []int{20, 40, 60, 80, 100} {
+			offered := float64(n) * perProd
+			thru := math.Min(offered, cap)
+			util := offered / cap
+			s.Points = append(s.Points, Fig3Point{
+				Producers:  n,
+				Throughput: thru,
+				MedianMs:   model.MedianLatencyAt(exp.Cluster, w, util),
+				P99Ms:      model.P99LatencyAt(exp.Cluster, w, util),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func fig3Label(e Experiment) string {
+	switch e.Index {
+	case 1:
+		return "Exp 1: 32 B"
+	case 2:
+		return "Exp 2: 1 KB (acks=0)"
+	case 3:
+		return "Exp 3: 1 KB (acks=1)"
+	case 4:
+		return "Exp 4: 1 KB (acks=all)"
+	case 5:
+		return "Exp 5: 4 KB"
+	default:
+		return "Exp 6: 1 KB (pa=4)"
+	}
+}
+
+// Figure3 renders the sweep as tables (median and P99 vs throughput).
+func Figure3() []*Table {
+	series := RunFigure3()
+	var tables []*Table
+	for _, s := range series {
+		t := &Table{
+			Title:   "Figure 3 series: " + s.Label + " (remote producers, baseline cluster)",
+			Columns: []string{"Producers", "Throughput (ev/s)", "Median Lat (ms)", "99%ile Lat (ms)"},
+		}
+		for _, p := range s.Points {
+			t.Add(p.Producers, p.Throughput, fmt.Sprintf("%.0f", p.MedianMs), fmt.Sprintf("%.0f", p.P99Ms))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// --- Figure 4: trigger autoscaling ---
+
+// Fig4Config matches the paper's synthetic workload: >5000 tasks, each
+// sleeping 30 s, buffered evenly across 128 partitions, batch size 1.
+type Fig4Config struct {
+	Tasks        int
+	TaskDuration time.Duration
+	Partitions   int
+	InitialConc  int
+	MaxConc      int
+	EvalInterval time.Duration
+	Growth       float64
+	SampleEvery  time.Duration
+}
+
+// DefaultFig4Config returns the paper's parameters.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Tasks:        5120,
+		TaskDuration: 30 * time.Second,
+		Partitions:   128,
+		InitialConc:  3,
+		MaxConc:      128,
+		EvalInterval: time.Minute,
+		Growth:       3.5,
+		SampleEvery:  10 * time.Second,
+	}
+}
+
+// Fig4Result carries the two curves of Figure 4.
+type Fig4Result struct {
+	QueueDepth  *metrics.Series
+	Concurrency *metrics.Series
+	// Completed is when the last task finished (relative to start).
+	Completed time.Duration
+	// PeakConcurrency is the maximum concurrent invocations reached.
+	PeakConcurrency int
+	// TimeToMaxConc is when concurrency first hit MaxConc.
+	TimeToMaxConc time.Duration
+}
+
+// RunFigure4 simulates the trigger-scaling experiment in virtual time
+// using the production autoscaling policy (trigger.NextConcurrency).
+// Lambda-like workers each hold one in-flight invocation of duration
+// TaskDuration; the scaler re-evaluates queue pressure every minute.
+func RunFigure4(cfg Fig4Config) Fig4Result {
+	origin := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	sim := vclock.NewSim(origin)
+	res := Fig4Result{
+		QueueDepth:  metrics.NewSeries("queue_depth"),
+		Concurrency: metrics.NewSeries("concurrent_invocations"),
+	}
+	queue := cfg.Tasks
+	inFlight := 0
+	conc := cfg.InitialConc
+	var completedAt time.Duration
+	reachedMax := time.Duration(-1)
+
+	// launch fills idle capacity from the queue.
+	var launch func()
+	launch = func() {
+		for inFlight < conc && queue > 0 {
+			queue--
+			inFlight++
+			sim.After(cfg.TaskDuration, func() {
+				inFlight--
+				if queue == 0 && inFlight == 0 {
+					completedAt = sim.Now().Sub(origin)
+				}
+				launch()
+			})
+		}
+	}
+	launch()
+
+	// The Lambda-style scaler re-evaluates processing pressure each
+	// interval (§IV-D: "Lambda evaluates the processing pressure at
+	// 1 min intervals").
+	sim.Every(cfg.EvalInterval, func() bool {
+		backlog := int64(queue + inFlight)
+		conc = trigger.NextConcurrency(conc, backlog, 1, cfg.Partitions, cfg.InitialConc, cfg.MaxConc, cfg.Growth)
+		if conc == cfg.MaxConc && reachedMax < 0 {
+			reachedMax = sim.Now().Sub(origin)
+		}
+		launch()
+		return queue > 0 || inFlight > 0
+	})
+
+	// Sampler for the figure's curves.
+	sim.Every(cfg.SampleEvery, func() bool {
+		res.QueueDepth.Record(sim.Now(), float64(queue))
+		res.Concurrency.Record(sim.Now(), float64(inFlight))
+		if p := inFlight; p > res.PeakConcurrency {
+			res.PeakConcurrency = p
+		}
+		return queue > 0 || inFlight > 0
+	})
+
+	sim.RunAll()
+	res.Completed = completedAt
+	res.TimeToMaxConc = reachedMax
+	return res
+}
+
+// Figure4 renders the autoscaling run.
+func Figure4() *Table {
+	res := RunFigure4(DefaultFig4Config())
+	t := &Table{
+		Title:   "Figure 4: Trigger scaling (5120 x 30 s tasks, 128 partitions, batch=1)",
+		Columns: []string{"Time (s)", "Queue Depth", "Concurrent Invocations"},
+	}
+	qs, cs := res.QueueDepth.Points(), res.Concurrency.Points()
+	for i := range qs {
+		if i >= len(cs) {
+			break
+		}
+		if i%6 != 0 { // sample every minute for the printout
+			continue
+		}
+		t.Add(int(qs[i].T.Sub(qs[0].T).Seconds()), qs[i].V, cs[i].V)
+	}
+	t.Add("-", "-", "-")
+	t.Add(fmt.Sprintf("done=%.0fs", res.Completed.Seconds()),
+		fmt.Sprintf("max_conc@%.0fs", res.TimeToMaxConc.Seconds()),
+		fmt.Sprintf("peak=%d", res.PeakConcurrency))
+	return t
+}
+
+// TriggerThroughputTable reproduces the §V-D text numbers: trigger
+// consumer throughput by partitions and event size.
+func TriggerThroughputTable() *Table {
+	t := &Table{
+		Title:   "Sec V-D: Trigger throughput (events/s) by partitions and event size",
+		Columns: []string{"Partitions", "32 B", "1 KB", "4 KB"},
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		t.Add(parts,
+			model.TriggerThroughput(32, parts),
+			model.TriggerThroughput(1024, parts),
+			model.TriggerThroughput(4096, parts))
+	}
+	return t
+}
+
+// --- Figure 5: multi-tenancy ---
+
+// Fig5Point is one (topics, producer thru, consumer thru) sample.
+type Fig5Point struct {
+	Topics   int
+	ProdThru float64
+	ConsThru float64
+}
+
+// RunFigure5 sweeps 1..32 topics (powers of two), 32 producers and 32
+// consumers of 1 KB events on the scale-out cluster, one partition and
+// rf=2 per topic (§V-E).
+func RunFigure5() []Fig5Point {
+	var out []Fig5Point
+	for topics := 1; topics <= 32; topics *= 2 {
+		out = append(out, Fig5Point{
+			Topics:   topics,
+			ProdThru: model.TenancyProducerThroughput(topics),
+			ConsThru: model.TenancyConsumerThroughput(topics),
+		})
+	}
+	return out
+}
+
+// Figure5 renders the tenancy sweep.
+func Figure5() *Table {
+	t := &Table{
+		Title:   "Figure 5: Throughput vs number of topics (32 producers / 32 consumers, 1 KB)",
+		Columns: []string{"Topics", "Producer Thru (ev/s)", "Consumer Thru (ev/s)"},
+	}
+	for _, p := range RunFigure5() {
+		t.Add(p.Topics, p.ProdThru, p.ConsThru)
+	}
+	return t
+}
+
+// --- Figure 7: data-automation trigger activity ---
+
+// Fig7Config shapes the FS-synchronization scenario of §VI-B.
+type Fig7Config struct {
+	// Bursts and BurstInterval drive the FS monitor's activity spikes.
+	Bursts        int
+	BurstInterval time.Duration
+	// TransferTime is how long one Globus-Transfer-like action takes.
+	TransferTime time.Duration
+	// MaxConc bounds concurrent trigger invocations.
+	MaxConc int
+	// EvalInterval is the scaler period (shorter than Figure 4's: the
+	// paper's Figure 7 window is only ~150 s).
+	EvalInterval time.Duration
+	SampleEvery  time.Duration
+}
+
+// DefaultFig7Config matches the figure's ~150 s window with queue
+// depths peaking around 100 and up to 8 concurrent invocations.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Bursts:        6,
+		BurstInterval: 20 * time.Second,
+		TransferTime:  4 * time.Second,
+		MaxConc:       8,
+		EvalInterval:  10 * time.Second,
+		SampleEvery:   time.Second,
+	}
+}
+
+// Fig7Result carries the Figure 7 curves and aggregation statistics.
+type Fig7Result struct {
+	QueueDepth  *metrics.Series
+	Concurrency *metrics.Series
+	RawEvents   int64
+	Forwarded   int64
+	Transfers   int
+	Reduction   float64
+}
+
+// RunFigure7 simulates the hierarchical pipeline: FSMon bursts → local
+// aggregator (dedupe) → global topic → create-filtered trigger →
+// transfer actions, in virtual time, using the real fsmon generator,
+// aggregator, pattern filter and autoscaling policy.
+func RunFigure7(cfg Fig7Config) Fig7Result {
+	origin := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	sim := vclock.NewSim(origin)
+	gen := fsmon.NewGenerator(fsmon.GeneratorConfig{FilesPerBurst: 24, ModifiesPerFile: 10})
+	agg := fsmon.NewAggregator(30 * time.Second)
+	pat := `{"value": {"event_type": ["created"]}}`
+	_ = pat // the filter below implements the same predicate via fsmon types
+	res := Fig7Result{
+		QueueDepth:  metrics.NewSeries("fs_queue_depth"),
+		Concurrency: metrics.NewSeries("transfer_invocations"),
+	}
+	queue := 0 // create events awaiting transfer
+	inFlight := 0
+	conc := 1
+	var launch func()
+	launch = func() {
+		for inFlight < conc && queue > 0 {
+			queue--
+			inFlight++
+			res.Transfers++
+			sim.After(cfg.TransferTime, func() {
+				inFlight--
+				launch()
+			})
+		}
+	}
+	// FS bursts arrive periodically; the aggregator filters, and only
+	// creation events (Listing 1's pattern) enqueue transfers.
+	for b := 0; b < cfg.Bursts; b++ {
+		at := time.Duration(b) * cfg.BurstInterval
+		sim.After(at, func() {
+			burst := gen.Burst(sim.Now())
+			for _, ev := range agg.Filter(burst) {
+				if ev.Type == fsmon.OpCreate {
+					queue++
+				}
+			}
+			launch()
+		})
+	}
+	sim.Every(cfg.EvalInterval, func() bool {
+		conc = trigger.NextConcurrency(conc, int64(queue+inFlight), 1, 128, 1, cfg.MaxConc, 2.0)
+		launch()
+		return sim.Now().Sub(origin) < time.Duration(cfg.Bursts+4)*cfg.BurstInterval
+	})
+	sim.Every(cfg.SampleEvery, func() bool {
+		res.QueueDepth.Record(sim.Now(), float64(queue))
+		res.Concurrency.Record(sim.Now(), float64(inFlight))
+		return sim.Now().Sub(origin) < time.Duration(cfg.Bursts+4)*cfg.BurstInterval
+	})
+	sim.RunAll()
+	res.RawEvents = agg.In
+	res.Forwarded = agg.Out
+	res.Reduction = agg.ReductionFactor()
+	return res
+}
+
+// Figure7 renders the data-automation activity trace.
+func Figure7() *Table {
+	res := RunFigure7(DefaultFig7Config())
+	t := &Table{
+		Title:   "Figure 7: Data-automation trigger activity (FS events -> aggregator -> transfers)",
+		Columns: []string{"Time (s)", "Queue Depth", "Concurrent Invocations"},
+	}
+	qs, cs := res.QueueDepth.Points(), res.Concurrency.Points()
+	for i := range qs {
+		if i >= len(cs) || i%10 != 0 {
+			continue
+		}
+		t.Add(int(qs[i].T.Sub(qs[0].T).Seconds()), qs[i].V, cs[i].V)
+	}
+	t.Add("-", "-", "-")
+	t.Add(fmt.Sprintf("raw=%d", res.RawEvents),
+		fmt.Sprintf("forwarded=%d", res.Forwarded),
+		fmt.Sprintf("transfers=%d (%.1fx reduction)", res.Transfers, res.Reduction))
+	return t
+}
+
+// --- Figure 8: workflow monitoring overhead ---
+
+// Fig8Cell is one bar of Figure 8.
+type Fig8Cell struct {
+	Workers  int
+	Duration time.Duration
+	System   string
+	Overhead float64 // ms per event
+}
+
+// RunFigure8 computes the full grid: workers 1..64 × durations
+// {0, 10 ms, 100 ms} × {HTEX, Octopus}, 128 tasks over 8 nodes.
+func RunFigure8() []Fig8Cell {
+	var out []Fig8Cell
+	for _, dur := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond} {
+		for _, workers := range []int{1, 2, 4, 8, 16, 32, 64} {
+			cfg := wfmon.RunConfig{Tasks: 128, Nodes: 8, Workers: workers, TaskDuration: dur}
+			for _, m := range []wfmon.MonitorModel{wfmon.HTEXModel(), wfmon.OctopusModel()} {
+				r := wfmon.SimulateRun(cfg, m)
+				out = append(out, Fig8Cell{
+					Workers:  workers,
+					Duration: dur,
+					System:   m.Name,
+					Overhead: r.OverheadPerEventMs,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Figure8 renders the monitoring-overhead grid, one table per duration.
+func Figure8() []*Table {
+	cells := RunFigure8()
+	byDur := map[time.Duration]map[int]map[string]float64{}
+	for _, c := range cells {
+		if byDur[c.Duration] == nil {
+			byDur[c.Duration] = map[int]map[string]float64{}
+		}
+		if byDur[c.Duration][c.Workers] == nil {
+			byDur[c.Duration][c.Workers] = map[string]float64{}
+		}
+		byDur[c.Duration][c.Workers][c.System] = c.Overhead
+	}
+	var tables []*Table
+	for _, dur := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond} {
+		name := "noop"
+		if dur > 0 {
+			name = fmt.Sprintf("sleep%dms", dur/time.Millisecond)
+		}
+		t := &Table{
+			Title:   "Figure 8 (" + name + "): async overhead per event (ms), 128 tasks / 8 nodes",
+			Columns: []string{"Workers", "HTEX", "Octopus"},
+		}
+		for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+			t.Add(w,
+				fmt.Sprintf("%.2f", byDur[dur][w]["HTEX"]),
+				fmt.Sprintf("%.2f", byDur[dur][w]["Octopus"]))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,147 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/broker"
+	"repro/internal/model"
+)
+
+// UseCase is one row of Table I: the event characteristics of the five
+// motivating applications (R = number of managed resources).
+type UseCase struct {
+	Name          string
+	EventsPerHour string // order of magnitude × R
+	MeanEventSize string
+	Topics        string
+	Producers     string
+	Consumers     string
+}
+
+// Table1UseCases returns the paper's Table I.
+func Table1UseCases() []UseCase {
+	return []UseCase{
+		{"SDL", "O(10^2) x R", "0.5 KB", "1", "R", "1"},
+		{"Data Auto.", "O(10^3) x R", "4 KB", "1", "R", "Trigger"},
+		{"Scheduling", "O(10^4) x R", "1 KB", "R", "R", "1"},
+		{"Epidemic", "O(10) x R", "1 KB", "R", "R", "Trigger"},
+		{"Workflow", "O(10^3) x R", "1 KB", "R", "R", "R"},
+	}
+}
+
+// Table1 renders Table I.
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table I: Characteristics of events for Octopus use cases",
+		Columns: []string{"Use Case", "Events/Hour", "Mean Event Size", "Num Topics", "Num Producers", "Num Consumers"},
+	}
+	for _, u := range Table1UseCases() {
+		t.Add(u.Name, u.EventsPerHour, u.MeanEventSize, u.Topics, u.Producers, u.Consumers)
+	}
+	return t
+}
+
+// Table2 renders the testbed cluster configurations (Table II).
+func Table2() *Table {
+	t := &Table{
+		Title:   "Table II: Testbed cluster configurations",
+		Columns: []string{"Name", "Number Brokers", "Broker Type", "vCPUs/Broker", "Mem/Broker"},
+	}
+	for _, c := range []model.ClusterSpec{model.Baseline, model.ScaleUp, model.ScaleOut} {
+		t.Add(c.Name, c.Brokers, string(c.Type), c.VCPUs(), fmt.Sprintf("%d GB", c.MemGB()))
+	}
+	return t
+}
+
+// Experiment is one Table III row's configuration.
+type Experiment struct {
+	Index      int
+	Cluster    model.ClusterSpec
+	RepFactor  int
+	Partitions int
+	Acks       broker.Acks
+	EventSize  int
+}
+
+// Table3Experiments returns the nine experiment configurations of
+// Table III.
+func Table3Experiments() []Experiment {
+	return []Experiment{
+		{1, model.Baseline, 2, 2, broker.AcksNone, 32},
+		{2, model.Baseline, 2, 2, broker.AcksNone, 1024},
+		{3, model.Baseline, 2, 2, broker.AcksLeader, 1024},
+		{4, model.Baseline, 2, 2, broker.AcksAll, 1024},
+		{5, model.Baseline, 2, 2, broker.AcksNone, 4096},
+		{6, model.Baseline, 2, 4, broker.AcksNone, 1024},
+		{7, model.ScaleUp, 2, 4, broker.AcksNone, 1024},
+		{8, model.ScaleOut, 2, 4, broker.AcksNone, 1024},
+		{9, model.ScaleOut, 4, 4, broker.AcksNone, 1024},
+	}
+}
+
+// Table3Row is the measured/modeled output for one experiment and
+// locality.
+type Table3Row struct {
+	Exp      Experiment
+	Locality model.Locality
+	ProdThru float64
+	MedianMs float64
+	P99Ms    float64
+	ConsThru float64
+}
+
+// RunTable3 computes all Table III cells from the capacity model.
+func RunTable3() []Table3Row {
+	var rows []Table3Row
+	for _, exp := range Table3Experiments() {
+		for _, loc := range []model.Locality{model.Local, model.Remote} {
+			w := model.Workload{
+				EventSize:         exp.EventSize,
+				Acks:              exp.Acks,
+				Partitions:        exp.Partitions,
+				ReplicationFactor: exp.RepFactor,
+				Locality:          loc,
+			}
+			rows = append(rows, Table3Row{
+				Exp:      exp,
+				Locality: loc,
+				ProdThru: model.ProducerThroughput(exp.Cluster, w),
+				MedianMs: model.MedianLatency(exp.Cluster, w),
+				P99Ms:    model.P99Latency(exp.Cluster, w),
+				ConsThru: model.ConsumerThroughput(exp.Cluster, w),
+			})
+		}
+	}
+	return rows
+}
+
+// sizeLabel formats an event size the way the paper does.
+func sizeLabel(bytes int) string {
+	if bytes >= 1024 {
+		return fmt.Sprintf("%d KB", bytes/1024)
+	}
+	return fmt.Sprintf("%d B", bytes)
+}
+
+// Table3 renders Table III with local and remote client columns.
+func Table3() *Table {
+	t := &Table{
+		Title: "Table III: Baseline performance and scalability (modeled; see DESIGN.md)",
+		Columns: []string{
+			"Exp", "Cluster", "RF", "Parts", "Acks", "Size",
+			"L.Prod", "L.Med", "L.P99", "L.Cons",
+			"R.Prod", "R.Med", "R.P99", "R.Cons",
+		},
+	}
+	rows := RunTable3()
+	for i := 0; i < len(rows); i += 2 {
+		local, remote := rows[i], rows[i+1]
+		e := local.Exp
+		t.Add(
+			e.Index, e.Cluster.Name, e.RepFactor, e.Partitions, e.Acks.String(), sizeLabel(e.EventSize),
+			local.ProdThru, fmt.Sprintf("%.0f", local.MedianMs), fmt.Sprintf("%.0f", local.P99Ms), local.ConsThru,
+			remote.ProdThru, fmt.Sprintf("%.0f", remote.MedianMs), fmt.Sprintf("%.0f", remote.P99Ms), remote.ConsThru,
+		)
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+// Package testbed is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§V, §VI-E) from this repo's
+// implementations — the calibrated capacity model for the
+// hardware-bound microbenchmarks (Table III, Figures 3 and 5) and
+// discrete simulations of the real components for the behavioral
+// experiments (Figures 4, 7 and 8). The benchmarking operator of §V-B
+// (topic creation, producer/consumer spawning, log aggregation) lives in
+// operator.go and exercises the real fabric.
+package testbed
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table in the paper's row/column format.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fK", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders (x, y...) series as a table, the textual stand-in
+// for the paper's figures.
+func SeriesTable(title string, xName string, xs []float64, series map[string][]float64, order []string) *Table {
+	t := &Table{Title: title, Columns: append([]string{xName}, order...)}
+	for i, x := range xs {
+		row := []any{x}
+		for _, name := range order {
+			ys := series[name]
+			if i < len(ys) {
+				row = append(row, ys[i])
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}

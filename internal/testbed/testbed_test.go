@@ -1,0 +1,341 @@
+package testbed
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/model"
+)
+
+func TestTable1HasFiveUseCases(t *testing.T) {
+	ucs := Table1UseCases()
+	if len(ucs) != 5 {
+		t.Fatalf("use cases = %d", len(ucs))
+	}
+	rendered := Table1().String()
+	for _, want := range []string{"SDL", "Data Auto.", "Scheduling", "Epidemic", "Workflow"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	s := Table2().String()
+	for _, want := range []string{"Baseline", "Scale-up", "Scale-out", "kafka.m5.large", "kafka.m5.xlarge"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestTable3HasNineExperimentsBothLocalities(t *testing.T) {
+	rows := RunTable3()
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 9 experiments x 2 localities", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Locality != model.Local || rows[i+1].Locality != model.Remote {
+			t.Fatalf("row %d locality ordering broken", i)
+		}
+		if rows[i].ProdThru <= 0 || rows[i].ConsThru <= 0 {
+			t.Fatalf("row %d has zero throughput", i)
+		}
+	}
+	// Spot-check the headline cells: >4.2 M produce, >9.6 M consume.
+	if rows[0].ProdThru < 4.2e6 {
+		t.Errorf("exp1 local produce = %.0f, want >= 4.2M", rows[0].ProdThru)
+	}
+	if rows[0].ConsThru < 9.6e6 {
+		t.Errorf("exp1 local consume = %.0f, want >= 9.6M", rows[0].ConsThru)
+	}
+}
+
+func TestFigure3SeriesShape(t *testing.T) {
+	series := RunFigure3()
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 5 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Throughput < s.Points[i-1].Throughput {
+				t.Errorf("%s: throughput decreased with more producers", s.Label)
+			}
+			if s.Points[i].MedianMs < s.Points[i-1].MedianMs {
+				t.Errorf("%s: latency decreased with more load", s.Label)
+			}
+		}
+	}
+	// The 32 B series peaks in the millions; 4 KB stays in the tens of K.
+	last := func(i int) Fig3Point { return series[i].Points[len(series[i].Points)-1] }
+	if last(0).Throughput < 4e6 {
+		t.Errorf("32 B peak = %.0f", last(0).Throughput)
+	}
+	if last(4).Throughput > 50e3 {
+		t.Errorf("4 KB peak = %.0f", last(4).Throughput)
+	}
+	// acks=all saturates far below acks=0.
+	if !(last(3).Throughput < last(1).Throughput/2) {
+		t.Errorf("acks=all peak %.0f not well below acks=0 peak %.0f", last(3).Throughput, last(1).Throughput)
+	}
+}
+
+func TestFigure4ReproducesScalingStory(t *testing.T) {
+	res := RunFigure4(DefaultFig4Config())
+	// Concurrency reaches 128 within ~4 minutes (paper: "scaled up from
+	// 3 to 128 within four minutes").
+	if res.TimeToMaxConc <= 0 || res.TimeToMaxConc > 5*time.Minute {
+		t.Errorf("time to max concurrency = %v, want <= 5 min", res.TimeToMaxConc)
+	}
+	if res.PeakConcurrency != 128 {
+		t.Errorf("peak concurrency = %d, want 128", res.PeakConcurrency)
+	}
+	// All tasks complete in roughly the paper's 1500 s window.
+	if res.Completed < 15*time.Minute || res.Completed > 30*time.Minute {
+		t.Errorf("completion = %v, want 15-30 min", res.Completed)
+	}
+	// Queue drains monotonically after the ramp.
+	qs := res.QueueDepth.Points()
+	if qs[0].V < 4000 {
+		t.Errorf("initial queue = %v", qs[0].V)
+	}
+	if last := qs[len(qs)-1].V; last > 128 {
+		t.Errorf("final queue = %v", last)
+	}
+}
+
+func TestFigure4ScaleDownBeforeCompletion(t *testing.T) {
+	res := RunFigure4(DefaultFig4Config())
+	// "scaling down shortly before the workload is complete": the last
+	// concurrency samples fall below the peak.
+	cs := res.Concurrency.Points()
+	tail := cs[len(cs)-1]
+	if tail.V >= float64(res.PeakConcurrency) {
+		t.Errorf("no scale-down at tail: %v", tail.V)
+	}
+}
+
+func TestTriggerThroughputTableShape(t *testing.T) {
+	s := TriggerThroughputTable().String()
+	if !strings.Contains(s, "22K") || !strings.Contains(s, "7K") || !strings.Contains(s, "2K") {
+		t.Errorf("1-partition row missing paper numbers:\n%s", s)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	pts := RunFigure5()
+	if len(pts) != 6 { // 1,2,4,8,16,32
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Producer flat after 4 topics; consumer rises to 16.
+	var at4, at8, at32 float64
+	for _, p := range pts {
+		switch p.Topics {
+		case 4:
+			at4 = p.ProdThru
+		case 8:
+			at8 = p.ProdThru
+		case 32:
+			at32 = p.ProdThru
+		}
+	}
+	if at4 != at8 || at8 != at32 {
+		t.Errorf("producer tenancy not flat past 4 topics: %v %v %v", at4, at8, at32)
+	}
+	if pts[0].ConsThru >= pts[4].ConsThru {
+		t.Error("consumer tenancy should grow to 16 topics")
+	}
+}
+
+func TestFigure7PipelineReduction(t *testing.T) {
+	res := RunFigure7(DefaultFig7Config())
+	if res.RawEvents == 0 || res.Forwarded == 0 {
+		t.Fatal("no events flowed")
+	}
+	// Aggregation cuts volume substantially (modify storms collapse).
+	if res.Reduction < 2 {
+		t.Errorf("reduction = %.2fx, want >= 2x", res.Reduction)
+	}
+	// Transfers equal the number of distinct created files (24 files x
+	// 6 bursts).
+	if res.Transfers != 24*6 {
+		t.Errorf("transfers = %d, want %d", res.Transfers, 24*6)
+	}
+	// Concurrency stayed within the Lambda cap and exercised scaling.
+	if res.Concurrency.MaxValue() > 8 {
+		t.Errorf("concurrency exceeded cap: %v", res.Concurrency.MaxValue())
+	}
+	if res.Concurrency.MaxValue() < 2 {
+		t.Errorf("concurrency never scaled: %v", res.Concurrency.MaxValue())
+	}
+	// Queue returns to zero by the end.
+	qs := res.QueueDepth.Points()
+	if qs[len(qs)-1].V != 0 {
+		t.Errorf("queue not drained: %v", qs[len(qs)-1].V)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cells := RunFigure8()
+	if len(cells) != 3*7*2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(workers int, dur time.Duration, sys string) float64 {
+		for _, c := range cells {
+			if c.Workers == workers && c.Duration == dur && c.System == sys {
+				return c.Overhead
+			}
+		}
+		t.Fatalf("missing cell %d/%v/%s", workers, dur, sys)
+		return 0
+	}
+	for _, dur := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond} {
+		// Octopus beats HTEX everywhere.
+		for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+			h, o := get(w, dur, "HTEX"), get(w, dur, "Octopus")
+			if o >= h {
+				t.Errorf("dur=%v workers=%d: Octopus %.2f !< HTEX %.2f", dur, w, o, h)
+			}
+		}
+		// Per-event overhead decreases with workers for HTEX... except
+		// that a fully serialized DB bottoms out; require 64-worker
+		// overhead below 1-worker overhead.
+		if get(64, dur, "HTEX") >= get(1, dur, "HTEX") {
+			t.Errorf("dur=%v: HTEX overhead did not fall with workers", dur)
+		}
+	}
+}
+
+func TestCostModelExample(t *testing.T) {
+	c := DefaultCostModel()
+	inv, trig, egress := c.SchedulingExample()
+	if inv != 2.4e6 {
+		t.Errorf("invocations = %v, want 2.4M", inv)
+	}
+	// Paper: "costs $24 daily".
+	if trig < 23 || trig > 25 {
+		t.Errorf("trigger cost = $%.2f, want ~$24", trig)
+	}
+	// "The incurred egress costs in this example would be negligible."
+	if egress > 2 {
+		t.Errorf("egress = $%.2f, want negligible", egress)
+	}
+	// "~$70" monthly minimum.
+	if m := c.MonthlyClusterUSD(0); m < 60 || m > 80 {
+		t.Errorf("monthly minimum = $%.2f", m)
+	}
+	// Aggregation mitigation shrinks the bill.
+	if c.DailyTriggerUSD(inv/100) >= trig/50 {
+		t.Error("aggregation mitigation not effective")
+	}
+}
+
+func TestOperatorRealFabricShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric shape check is not short")
+	}
+	op, err := NewOperator(model.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := op.Run(RunSpec{
+		Topic: "op-test", Partitions: 2, ReplicationFactor: 2,
+		Acks: broker.AcksLeader, EventSize: 256,
+		Producers: 4, Consumers: 2, EventsPerProducer: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Produced != 8000 {
+		t.Fatalf("produced = %d", res.Produced)
+	}
+	if res.Consumed != 16000 { // 2 consumers x full topic
+		t.Fatalf("consumed = %d", res.Consumed)
+	}
+	if res.ProduceThru <= 0 || res.ConsumeThru <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.Add(1, 2.5)
+	tb.Add("x", 1234567.0)
+	s := tb.String()
+	if !strings.Contains(s, "1.23M") {
+		t.Errorf("missing M formatting:\n%s", s)
+	}
+	if !strings.Contains(s, "2.50") {
+		t.Errorf("missing float formatting:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 5 { // title, header, sep, 2 rows
+		t.Errorf("unexpected layout:\n%s", s)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tb := SeriesTable("S", "x", []float64{1, 2}, map[string][]float64{"y": {10, 20}}, []string{"y"})
+	s := tb.String()
+	if !strings.Contains(s, "10") || !strings.Contains(s, "20") {
+		t.Errorf("series table missing data:\n%s", s)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	dir := t.TempDir()
+	files, err := ExportCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 12 {
+		t.Fatalf("exported %d files: %v", len(files), files)
+	}
+	// Every file parses as CSV with a header and at least one data row.
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has %d rows", name, len(rows))
+		}
+	}
+}
+
+func TestShapeCheckRunsAllAcksLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-fabric shape check is not short")
+	}
+	op, err := NewOperator(model.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := op.ShapeCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"prod_acks_0", "prod_acks_1", "prod_acks_all",
+		"cons_acks_0", "cons_acks_1", "cons_acks_all",
+	} {
+		if out[key] <= 0 {
+			t.Fatalf("%s = %v", key, out[key])
+		}
+	}
+	// Reads at least match writes on the real in-process fabric.
+	if out["cons_acks_0"] < out["prod_acks_0"]*0.5 {
+		t.Fatalf("consume (%v) implausibly below produce (%v)", out["cons_acks_0"], out["prod_acks_0"])
+	}
+}

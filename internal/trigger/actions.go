@@ -1,0 +1,151 @@
+package trigger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/event"
+)
+
+// This file provides the built-in action library. §IV-D's triggers are
+// "polyvalent — they can perform many different actions"; the paper's
+// deployments call Globus Transfer and Globus Flows over HTTP, chain
+// events into derived topics, and notify users. These constructors
+// cover those shapes so applications rarely need custom code.
+
+// WebhookPayload is the JSON body a webhook action posts: the batch of
+// matched events plus trigger identity, the shape a remote action
+// provider (e.g. a transfer service) consumes.
+type WebhookPayload struct {
+	TriggerID  string         `json:"trigger_id"`
+	OnBehalfOf string         `json:"on_behalf_of,omitempty"`
+	Attempt    int            `json:"attempt"`
+	Events     []WebhookEvent `json:"events"`
+}
+
+// WebhookEvent is one event in a webhook payload.
+type WebhookEvent struct {
+	Topic     string          `json:"topic"`
+	Partition int             `json:"partition"`
+	Offset    int64           `json:"offset"`
+	Key       string          `json:"key,omitempty"`
+	Value     json.RawMessage `json:"value"`
+}
+
+// Webhook returns an action that POSTs each batch to url as JSON. A
+// non-2xx response or transport error is returned to the runtime,
+// which retries per the trigger's MaxRetries — giving webhooks the
+// robustness property of §IV-D.
+func Webhook(url string, client *http.Client) Action {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return func(inv *Invocation) error {
+		payload := WebhookPayload{
+			TriggerID:  inv.TriggerID,
+			OnBehalfOf: inv.OnBehalfOf,
+			Attempt:    inv.Attempt,
+		}
+		for _, ev := range inv.Events {
+			we := WebhookEvent{
+				Topic:     ev.Topic,
+				Partition: ev.Partition,
+				Offset:    ev.Offset,
+				Key:       string(ev.Key),
+			}
+			if json.Valid(ev.Value) {
+				we.Value = json.RawMessage(ev.Value)
+			} else {
+				raw, _ := json.Marshal(string(ev.Value))
+				we.Value = raw
+			}
+			payload.Events = append(payload.Events, we)
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("trigger: webhook marshal: %w", err)
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("trigger: webhook post: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return fmt.Errorf("trigger: webhook %s returned %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+}
+
+// Chain returns an action that republishes matched events to another
+// topic on the same fabric — the "events generating more events"
+// pattern that composes multi-stage automations (e.g. transfer-done →
+// analysis → email of §I).
+func Chain(f *broker.Fabric, destTopic string) Action {
+	return func(inv *Invocation) error {
+		evs := make([]event.Event, len(inv.Events))
+		for i, ev := range inv.Events {
+			c := ev.Clone()
+			if c.Headers == nil {
+				c.Headers = make(map[string]string, 2)
+			}
+			c.Headers["x-octopus-chained-from"] = fmt.Sprintf("%s/%d@%d", ev.Topic, ev.Partition, ev.Offset)
+			c.Headers["x-octopus-trigger"] = inv.TriggerID
+			evs[i] = c
+		}
+		_, err := f.Produce(inv.OnBehalfOf, destTopic, -1, evs, broker.AcksLeader)
+		return err
+	}
+}
+
+// Tee returns an action running several actions in order, failing on
+// the first error (the runtime then retries the whole batch; actions
+// should therefore be idempotent, the caveat §VII-B raises).
+func Tee(actions ...Action) Action {
+	return func(inv *Invocation) error {
+		for _, a := range actions {
+			if err := a(inv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// DeadLetterTopic wraps an action so that batches which exhaust their
+// retries are published to dlTopic instead of being dropped — turning
+// the runtime's dead-letter counter into a recoverable queue.
+//
+// It must be installed via Runtime.DeployFunc with the trigger's
+// MaxRetries set on the wrapped config; the wrapper performs its own
+// final-attempt detection using Invocation.Attempt.
+func DeadLetterTopic(f *broker.Fabric, dlTopic string, maxRetries int, inner Action) Action {
+	return func(inv *Invocation) error {
+		err := inner(inv)
+		if err == nil {
+			return nil
+		}
+		if inv.Attempt > maxRetries {
+			evs := make([]event.Event, len(inv.Events))
+			for i, ev := range inv.Events {
+				c := ev.Clone()
+				if c.Headers == nil {
+					c.Headers = make(map[string]string, 2)
+				}
+				c.Headers["x-octopus-dead-letter-reason"] = err.Error()
+				c.Headers["x-octopus-source"] = fmt.Sprintf("%s/%d@%d", ev.Topic, ev.Partition, ev.Offset)
+				evs[i] = c
+			}
+			if _, perr := f.Produce("", dlTopic, -1, evs, broker.AcksLeader); perr != nil {
+				return fmt.Errorf("trigger: dead-letter publish failed: %w (original: %v)", perr, err)
+			}
+			// Swallow the error: the batch is parked in the DL topic.
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,237 @@
+package trigger
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+func TestWebhookPostsBatch(t *testing.T) {
+	var mu sync.Mutex
+	var payloads []WebhookPayload
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var p WebhookPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Errorf("bad payload: %v", err)
+		}
+		mu.Lock()
+		payloads = append(payloads, p)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	act := Webhook(srv.URL, nil)
+	inv := &Invocation{
+		TriggerID:  "transfer",
+		OnBehalfOf: "alice",
+		Attempt:    1,
+		Events: []event.Event{
+			{Topic: "fs", Partition: 1, Offset: 7, Key: []byte("k"), Value: []byte(`{"path": "/a"}`)},
+			{Topic: "fs", Partition: 1, Offset: 8, Value: []byte("not-json")},
+		},
+	}
+	if err := act(inv); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(payloads) != 1 {
+		t.Fatalf("posts = %d", len(payloads))
+	}
+	p := payloads[0]
+	if p.TriggerID != "transfer" || p.OnBehalfOf != "alice" || len(p.Events) != 2 {
+		t.Fatalf("payload = %+v", p)
+	}
+	if p.Events[0].Offset != 7 || p.Events[0].Key != "k" {
+		t.Fatalf("event meta = %+v", p.Events[0])
+	}
+	// Non-JSON payloads are shipped as JSON strings.
+	var s string
+	if err := json.Unmarshal(p.Events[1].Value, &s); err != nil || s != "not-json" {
+		t.Fatalf("non-json wrapping: %q, %v", p.Events[1].Value, err)
+	}
+}
+
+func TestWebhookErrorsOnNon2xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	act := Webhook(srv.URL, nil)
+	if err := act(&Invocation{Events: []event.Event{{Value: []byte("{}")}}}); err == nil {
+		t.Fatal("502 treated as success")
+	}
+	// Unreachable endpoint errors too.
+	down := Webhook("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
+	if err := down(&Invocation{Events: []event.Event{{Value: []byte("{}")}}}); err == nil {
+		t.Fatal("unreachable endpoint treated as success")
+	}
+}
+
+func TestWebhookDrivenByRuntimeRetries(t *testing.T) {
+	f := newFabric(t, "hooked", 1)
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable) // transient failure
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	cfg := fastCfg("hook", "hooked")
+	cfg.MaxRetries = 3
+	tr, err := New(f, cfg, Webhook(srv.URL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Stop()
+	produceJSON(t, f, "hooked", map[string]any{"x": 1})
+	waitFor(t, func() bool { return tr.Stats().EventsDelivered == 1 }, "retried webhook delivery")
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (fail then succeed)", calls)
+	}
+}
+
+func TestChainRepublishes(t *testing.T) {
+	f := newFabric(t, "src", 2)
+	if _, err := f.CreateTopic("derived", "", cluster.TopicConfig{Partitions: 2, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	act := Chain(f, "derived")
+	err := act(&Invocation{
+		TriggerID: "chain-1",
+		Events: []event.Event{
+			{Topic: "src", Partition: 0, Offset: 3, Key: []byte("k"), Value: []byte(`{"a":1}`)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *event.Event
+	for p := 0; p < 2; p++ {
+		res, err := f.Fetch("", "derived", p, 0, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Events) > 0 {
+			found = &res.Events[0]
+		}
+	}
+	if found == nil {
+		t.Fatal("nothing chained")
+	}
+	if found.Headers["x-octopus-chained-from"] != "src/0@3" {
+		t.Fatalf("provenance header = %q", found.Headers["x-octopus-chained-from"])
+	}
+	if found.Headers["x-octopus-trigger"] != "chain-1" {
+		t.Fatalf("trigger header = %q", found.Headers["x-octopus-trigger"])
+	}
+}
+
+func TestChainRespectsACLs(t *testing.T) {
+	f := newFabric(t, "src", 1)
+	if _, err := f.CreateTopic("locked", "owner", cluster.TopicConfig{Partitions: 1, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	act := Chain(f, "locked")
+	err := act(&Invocation{
+		OnBehalfOf: "stranger",
+		Events:     []event.Event{{Value: []byte("{}")}},
+	})
+	if err == nil {
+		t.Fatal("chain bypassed topic ACL")
+	}
+}
+
+func TestTeeRunsInOrderAndStopsOnError(t *testing.T) {
+	var order []string
+	mk := func(name string, fail bool) Action {
+		return func(*Invocation) error {
+			order = append(order, name)
+			if fail {
+				return errors.New(name + " failed")
+			}
+			return nil
+		}
+	}
+	act := Tee(mk("a", false), mk("b", true), mk("c", false))
+	if err := act(&Invocation{}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDeadLetterTopicParksFailedBatches(t *testing.T) {
+	f := newFabric(t, "work", 1)
+	if _, err := f.CreateTopic("work-dl", "", cluster.TopicConfig{Partitions: 1, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	failing := func(*Invocation) error { return errors.New("downstream permanently broken") }
+	const maxRetries = 2
+	act := DeadLetterTopic(f, "work-dl", maxRetries, failing)
+	// Attempts 1..maxRetries return errors (runtime would retry)...
+	for attempt := 1; attempt <= maxRetries; attempt++ {
+		if err := act(&Invocation{Attempt: attempt, Events: []event.Event{{Topic: "work", Value: []byte("{}")}}}); err == nil {
+			t.Fatalf("attempt %d should propagate the error", attempt)
+		}
+	}
+	// ...the final attempt parks the batch and succeeds.
+	err := act(&Invocation{Attempt: maxRetries + 1, Events: []event.Event{{Topic: "work", Offset: 5, Value: []byte(`{"job":9}`)}}})
+	if err != nil {
+		t.Fatalf("final attempt: %v", err)
+	}
+	res, err := f.Fetch("", "work-dl", 0, 0, 10, 0)
+	if err != nil || len(res.Events) != 1 {
+		t.Fatalf("dead letters = %d, %v", len(res.Events), err)
+	}
+	dl := res.Events[0]
+	if dl.Headers["x-octopus-dead-letter-reason"] == "" || dl.Headers["x-octopus-source"] != "work/0@5" {
+		t.Fatalf("dead-letter headers = %v", dl.Headers)
+	}
+}
+
+func TestDeadLetterEndToEndThroughRuntime(t *testing.T) {
+	f := newFabric(t, "jobs", 1)
+	if _, err := f.CreateTopic("jobs-dl", "", cluster.TopicConfig{Partitions: 1, ReplicationFactor: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg("dl", "jobs")
+	cfg.MaxRetries = 1
+	failing := func(*Invocation) error { return errors.New("no") }
+	tr, err := New(f, cfg, DeadLetterTopic(f, "jobs-dl", cfg.MaxRetries, failing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Stop()
+	produceJSON(t, f, "jobs", map[string]any{"job": 1})
+	waitFor(t, func() bool {
+		end, _ := f.EndOffset("jobs-dl", 0)
+		return end == 1
+	}, "dead letter through runtime")
+	// The batch counts as delivered (parked), not dead-lettered-dropped.
+	if tr.Stats().DeadLettered != 0 {
+		t.Fatalf("runtime dropped a batch that was parked: %+v", tr.Stats())
+	}
+}

@@ -1,0 +1,174 @@
+package trigger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/broker"
+)
+
+// Runtime is the managed trigger service: it deploys, describes,
+// updates and removes triggers, backing the OWS /trigger routes. Every
+// trigger gets its own consumer group so "many instances of the Lambda
+// function can retrieve events without affecting other consumers of the
+// topic" (§IV-D).
+type Runtime struct {
+	fabric *broker.Fabric
+
+	mu       sync.Mutex
+	triggers map[string]*Trigger
+	// actions is the registry of deployable functions by name, standing
+	// in for the Lambda function catalog.
+	actions map[string]Action
+}
+
+// Errors returned by the runtime.
+var (
+	// ErrTriggerExists reports a duplicate deploy.
+	ErrTriggerExists = errors.New("trigger: already deployed")
+	// ErrNoTrigger reports an operation on an unknown trigger.
+	ErrNoTrigger = errors.New("trigger: not found")
+	// ErrNoAction reports a deploy referencing an unregistered function.
+	ErrNoAction = errors.New("trigger: unknown action")
+)
+
+// NewRuntime creates an empty runtime over a fabric.
+func NewRuntime(f *broker.Fabric) *Runtime {
+	return &Runtime{
+		fabric:   f,
+		triggers: make(map[string]*Trigger),
+		actions:  make(map[string]Action),
+	}
+}
+
+// RegisterAction publishes a named function users can attach triggers to
+// (the "users can specify the Lambda function" step of §IV-D).
+func (r *Runtime) RegisterAction(name string, fn Action) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.actions[name] = fn
+}
+
+// Deploy creates and starts a trigger running the named action.
+func (r *Runtime) Deploy(cfg Config, actionName string) (*Trigger, error) {
+	r.mu.Lock()
+	fn, ok := r.actions[actionName]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoAction, actionName)
+	}
+	if _, dup := r.triggers[cfg.ID]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTriggerExists, cfg.ID)
+	}
+	r.mu.Unlock()
+
+	t, err := New(r.fabric, cfg, fn)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, dup := r.triggers[cfg.ID]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTriggerExists, cfg.ID)
+	}
+	r.triggers[cfg.ID] = t
+	r.mu.Unlock()
+	t.Start()
+	return t, nil
+}
+
+// DeployFunc deploys a trigger with an inline function (SDK-style use).
+func (r *Runtime) DeployFunc(cfg Config, fn Action) (*Trigger, error) {
+	name := "inline-" + cfg.ID
+	r.RegisterAction(name, fn)
+	return r.Deploy(cfg, name)
+}
+
+// Get returns a deployed trigger.
+func (r *Runtime) Get(id string) (*Trigger, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.triggers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTrigger, id)
+	}
+	return t, nil
+}
+
+// List returns deployed trigger ids, sorted.
+func (r *Runtime) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.triggers))
+	for id := range r.triggers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Update applies a new configuration to a running trigger (the OWS POST
+// /trigger/<id> route: batch size, batch window, filtering criteria).
+// The trigger is restarted under the new config; its consumer group and
+// therefore its committed progress are preserved.
+func (r *Runtime) Update(id string, mutate func(*Config)) (*Trigger, error) {
+	r.mu.Lock()
+	old, ok := r.triggers[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoTrigger, id)
+	}
+	r.mu.Unlock()
+	old.Stop()
+	cfg := old.cfg
+	mutate(&cfg)
+	cfg.ID = id               // id is immutable
+	cfg.Group = old.cfg.Group // group (and progress) is preserved
+	t, err := New(r.fabric, cfg, old.action)
+	if err != nil {
+		// Restart the old trigger so a bad update is not destructive.
+		restarted, rerr := New(r.fabric, old.cfg, old.action)
+		if rerr == nil {
+			restarted.Start()
+			r.mu.Lock()
+			r.triggers[id] = restarted
+			r.mu.Unlock()
+		}
+		return nil, err
+	}
+	r.mu.Lock()
+	r.triggers[id] = t
+	r.mu.Unlock()
+	t.Start()
+	return t, nil
+}
+
+// Remove stops and deletes a trigger.
+func (r *Runtime) Remove(id string) error {
+	r.mu.Lock()
+	t, ok := r.triggers[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoTrigger, id)
+	}
+	delete(r.triggers, id)
+	r.mu.Unlock()
+	t.Stop()
+	return nil
+}
+
+// StopAll stops every trigger (shutdown path).
+func (r *Runtime) StopAll() {
+	r.mu.Lock()
+	ts := make([]*Trigger, 0, len(r.triggers))
+	for _, t := range r.triggers {
+		ts = append(ts, t)
+	}
+	r.mu.Unlock()
+	for _, t := range ts {
+		t.Stop()
+	}
+}

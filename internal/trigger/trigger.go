@@ -1,0 +1,450 @@
+// Package trigger implements Octopus Triggers (§IV-D): managed,
+// FaaS-style event handlers. Each trigger owns a consumer group on its
+// topic, optionally filters events through an EventBridge-style pattern,
+// invokes a user function with batches of up to 10 000 events / 6 MB,
+// retries failures, and autoscales its concurrency by re-evaluating the
+// topic's processing pressure at a fixed interval — the behavior of the
+// AWS Lambda + EventBridge deployment the paper uses.
+package trigger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/vclock"
+)
+
+// Action is the user function a trigger invokes. Implementations may
+// call external services (the paper's Globus Transfer requests), publish
+// derived events, or update local state. A non-nil error causes a retry
+// up to Config.MaxRetries.
+type Action func(inv *Invocation) error
+
+// Invocation carries one batch delivery to an Action.
+type Invocation struct {
+	// TriggerID identifies the trigger.
+	TriggerID string
+	// Events is the filtered batch (pattern matches only).
+	Events []event.Event
+	// Partition is the source partition.
+	Partition int
+	// Attempt counts delivery attempts for this batch (1 = first).
+	Attempt int
+	// OnBehalfOf is the delegated identity the trigger acts as.
+	OnBehalfOf string
+}
+
+// Config describes a trigger deployment, the payload of the OWS
+// PUT /trigger route.
+type Config struct {
+	// ID names the trigger (unique within the runtime).
+	ID string
+	// Topic is the source topic.
+	Topic string
+	// Group is the trigger's private consumer group
+	// (default "trigger-<ID>").
+	Group string
+	// Pattern optionally filters events; nil invokes on everything.
+	// The JSON source form is kept so OWS can round-trip it.
+	PatternJSON string
+	// BatchSize caps events per invocation (default 100, max 10 000).
+	BatchSize int
+	// BatchBytes caps payload bytes per invocation (default 6 MB).
+	BatchBytes int
+	// BatchWindow is the poll interval while idle (default 100 ms).
+	BatchWindow time.Duration
+	// MinConcurrency / MaxConcurrency bound the worker pool
+	// (defaults 1 and 128; concurrency never exceeds partition count).
+	MinConcurrency int
+	MaxConcurrency int
+	// EvalInterval is the pressure re-evaluation period (default 1 min,
+	// matching Lambda's behavior in §IV-D).
+	EvalInterval time.Duration
+	// Growth is the per-evaluation concurrency multiplier while under
+	// pressure (default 3.5: 3 → 128 in four evaluations, Figure 4).
+	Growth float64
+	// MaxRetries bounds redelivery of a failing batch (default 2).
+	MaxRetries int
+	// OnBehalfOf is the identity the trigger acts for.
+	OnBehalfOf string
+}
+
+func (c *Config) fill() error {
+	if c.ID == "" {
+		return errors.New("trigger: config needs an ID")
+	}
+	if c.Topic == "" {
+		return errors.New("trigger: config needs a Topic")
+	}
+	if c.Group == "" {
+		c.Group = "trigger-" + c.ID
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.BatchSize > 10000 {
+		c.BatchSize = 10000
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 6 << 20
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 100 * time.Millisecond
+	}
+	if c.MinConcurrency <= 0 {
+		c.MinConcurrency = 1
+	}
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 128
+	}
+	if c.EvalInterval <= 0 {
+		c.EvalInterval = time.Minute
+	}
+	if c.Growth <= 1 {
+		c.Growth = 3.5
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	return nil
+}
+
+// NextConcurrency is the autoscaling policy: given the current
+// concurrency and observed backlog, it returns the next concurrency.
+// It is a pure function shared by the live runtime and the testbed
+// simulator (Figure 4).
+//
+// Scaling up multiplies by growth while backlog exceeds what the current
+// workers can drain in one evaluation interval; scaling down snaps to
+// the needed level. Concurrency is clamped to [min, min(max, parts)].
+func NextConcurrency(cur int, backlog int64, batch, parts, minC, maxC int, growth float64) int {
+	limit := maxC
+	if parts < limit {
+		limit = parts
+	}
+	if limit < minC {
+		limit = minC
+	}
+	// needed is how many single-batch workers the backlog justifies.
+	needed := int(math.Ceil(float64(backlog) / float64(batch)))
+	switch {
+	case needed > cur:
+		next := int(math.Ceil(float64(cur) * growth))
+		if next > needed {
+			next = needed
+		}
+		if next > limit {
+			next = limit
+		}
+		return next
+	case needed < cur:
+		next := needed
+		if next < minC {
+			next = minC
+		}
+		return next
+	default:
+		return cur
+	}
+}
+
+// Stats is a live snapshot of a trigger's activity.
+type Stats struct {
+	Concurrency       int
+	ActiveInvocations int
+	Invocations       int64
+	EventsDelivered   int64
+	EventsFiltered    int64
+	Failures          int64
+	DeadLettered      int64
+	Backlog           int64
+}
+
+// Trigger is a deployed trigger instance.
+type Trigger struct {
+	cfg     Config
+	pat     *pattern.Pattern
+	action  Action
+	fabric  *broker.Fabric
+	clock   vclock.Clock
+	metrics *metrics.Registry
+
+	mu          sync.Mutex
+	concurrency int
+	active      int
+	parts       []int
+	stopCh      chan struct{}
+	stopped     bool
+	wg          sync.WaitGroup
+	epoch       int // bumps on resize; workers of old epochs exit
+
+	invocations     int64
+	eventsDelivered int64
+	eventsFiltered  int64
+	failures        int64
+	deadLettered    int64
+
+	// ConcurrencySeries and BacklogSeries record the Figure 4/7 curves.
+	ConcurrencySeries *metrics.Series
+	BacklogSeries     *metrics.Series
+}
+
+// New validates the config and builds a trigger bound to a fabric.
+func New(f *broker.Fabric, cfg Config, action Action) (*Trigger, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if action == nil {
+		return nil, errors.New("trigger: nil action")
+	}
+	var pat *pattern.Pattern
+	if cfg.PatternJSON != "" {
+		p, err := pattern.Compile([]byte(cfg.PatternJSON))
+		if err != nil {
+			return nil, fmt.Errorf("trigger %s: %w", cfg.ID, err)
+		}
+		pat = p
+	}
+	meta, err := f.Ctl.Topic(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]int, meta.Config.Partitions)
+	for i := range parts {
+		parts[i] = i
+	}
+	t := &Trigger{
+		cfg:               cfg,
+		pat:               pat,
+		action:            action,
+		fabric:            f,
+		clock:             f.Clock,
+		metrics:           f.Metrics,
+		concurrency:       cfg.MinConcurrency,
+		parts:             parts,
+		stopCh:            make(chan struct{}),
+		ConcurrencySeries: metrics.NewSeries(cfg.ID + ".concurrency"),
+		BacklogSeries:     metrics.NewSeries(cfg.ID + ".backlog"),
+	}
+	return t, nil
+}
+
+// Config returns the trigger's (filled) configuration.
+func (t *Trigger) Config() Config { return t.cfg }
+
+// Start launches the workers and the autoscaler.
+func (t *Trigger) Start() {
+	t.mu.Lock()
+	n := t.concurrency
+	t.mu.Unlock()
+	t.spawnWorkers(n)
+	t.wg.Add(1)
+	go t.scaleLoop()
+}
+
+// Stop halts workers and the autoscaler and waits for them.
+func (t *Trigger) Stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	close(t.stopCh)
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// spawnWorkers bumps the epoch and starts n workers; workers from prior
+// epochs notice and exit, so a resize is a full worker-set replacement.
+func (t *Trigger) spawnWorkers(n int) {
+	t.mu.Lock()
+	t.epoch++
+	epoch := t.epoch
+	t.concurrency = n
+	t.mu.Unlock()
+	for i := 0; i < n; i++ {
+		t.wg.Add(1)
+		go t.worker(i, n, epoch)
+	}
+}
+
+func (t *Trigger) currentEpoch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// worker services the partitions congruent to idx modulo n.
+func (t *Trigger) worker(idx, n, epoch int) {
+	defer t.wg.Done()
+	positions := make(map[int]int64)
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		default:
+		}
+		if t.currentEpoch() != epoch {
+			return
+		}
+		progressed := false
+		for p := idx; p < len(t.parts); p += n {
+			if t.processOne(p, positions) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			select {
+			case <-t.stopCh:
+				return
+			case <-t.clock.After(t.cfg.BatchWindow):
+			}
+		}
+	}
+}
+
+// processOne fetches and handles one batch from partition p; it reports
+// whether any events were consumed.
+func (t *Trigger) processOne(p int, positions map[int]int64) bool {
+	pos, ok := positions[p]
+	if !ok {
+		if off := t.fabric.Groups.Committed(t.cfg.Group, t.cfg.Topic, p); off >= 0 {
+			pos = off
+		} else {
+			start, err := t.fabric.StartOffset(t.cfg.Topic, p)
+			if err != nil {
+				return false
+			}
+			pos = start
+		}
+		positions[p] = pos
+	}
+	res, err := t.fabric.Fetch("", t.cfg.Topic, p, pos, t.cfg.BatchSize, t.cfg.BatchBytes)
+	if err != nil || len(res.Events) == 0 {
+		return false
+	}
+	batch := res.Events
+	matched := batch
+	if t.pat != nil {
+		matched = matched[:0:0]
+		for _, ev := range batch {
+			if t.pat.MatchJSON(ev.Value) {
+				matched = append(matched, ev)
+			} else {
+				t.mu.Lock()
+				t.eventsFiltered++
+				t.mu.Unlock()
+			}
+		}
+	}
+	if len(matched) > 0 {
+		t.invoke(p, matched)
+	}
+	last := batch[len(batch)-1]
+	positions[p] = last.Offset + 1
+	t.fabric.Groups.CommitDirect(t.cfg.Group, t.cfg.Topic, p, last.Offset+1)
+	return true
+}
+
+func (t *Trigger) invoke(p int, evs []event.Event) {
+	t.mu.Lock()
+	t.active++
+	t.invocations++
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.active--
+		t.mu.Unlock()
+	}()
+	for attempt := 1; ; attempt++ {
+		err := t.safeAction(&Invocation{
+			TriggerID:  t.cfg.ID,
+			Events:     evs,
+			Partition:  p,
+			Attempt:    attempt,
+			OnBehalfOf: t.cfg.OnBehalfOf,
+		})
+		if err == nil {
+			t.mu.Lock()
+			t.eventsDelivered += int64(len(evs))
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Lock()
+		t.failures++
+		t.mu.Unlock()
+		if attempt > t.cfg.MaxRetries {
+			t.mu.Lock()
+			t.deadLettered += int64(len(evs))
+			t.mu.Unlock()
+			t.metrics.Counter("trigger." + t.cfg.ID + ".dead_lettered").Add(int64(len(evs)))
+			return
+		}
+		t.clock.Sleep(t.cfg.BatchWindow)
+	}
+}
+
+// safeAction isolates panicking user functions, converting them to
+// errors so one bad batch cannot take down the runtime.
+func (t *Trigger) safeAction(inv *Invocation) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trigger %s: action panic: %v", t.cfg.ID, r)
+		}
+	}()
+	return t.action(inv)
+}
+
+// scaleLoop re-evaluates processing pressure every EvalInterval and
+// resizes the worker pool, mirroring Lambda's per-minute scaling.
+func (t *Trigger) scaleLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.stopCh:
+			return
+		case <-t.clock.After(t.cfg.EvalInterval):
+		}
+		backlog, err := t.fabric.PendingEvents(t.cfg.Topic, t.cfg.Group)
+		if err != nil {
+			continue
+		}
+		now := t.clock.Now()
+		t.BacklogSeries.Record(now, float64(backlog))
+		t.mu.Lock()
+		cur := t.concurrency
+		t.mu.Unlock()
+		next := NextConcurrency(cur, backlog, t.cfg.BatchSize, len(t.parts), t.cfg.MinConcurrency, t.cfg.MaxConcurrency, t.cfg.Growth)
+		t.ConcurrencySeries.Record(now, float64(next))
+		if next != cur {
+			t.spawnWorkers(next)
+		}
+	}
+}
+
+// Stats returns a snapshot of trigger activity.
+func (t *Trigger) Stats() Stats {
+	backlog, _ := t.fabric.PendingEvents(t.cfg.Topic, t.cfg.Group)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Concurrency:       t.concurrency,
+		ActiveInvocations: t.active,
+		Invocations:       t.invocations,
+		EventsDelivered:   t.eventsDelivered,
+		EventsFiltered:    t.eventsFiltered,
+		Failures:          t.failures,
+		DeadLettered:      t.deadLettered,
+		Backlog:           backlog,
+	}
+}

@@ -1,0 +1,104 @@
+package vclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Sim is a single-threaded discrete-event simulator: callbacks are
+// scheduled at absolute virtual times and executed in time order. It is
+// the engine behind the testbed experiments (Figures 4, 7 and 8), where
+// thousands of seconds of simulated activity must run in milliseconds.
+//
+// Sim is intentionally not safe for concurrent use: determinism is the
+// point. Callbacks run on the caller's goroutine inside Run.
+type Sim struct {
+	now   time.Time
+	queue simHeap
+	seq   int64
+}
+
+// NewSim creates a simulator starting at origin.
+func NewSim(origin time.Time) *Sim { return &Sim{now: origin} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// At schedules fn to run at absolute time t. Times in the past run
+// immediately at the current time on the next Run step.
+func (s *Sim) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &simEvent{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Every schedules fn to run every period until it returns false.
+func (s *Sim) Every(period time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(period, tick)
+		}
+	}
+	s.After(period, tick)
+}
+
+// Run executes queued events in time order until the queue is empty or
+// simulated time would exceed horizon. It returns the final time.
+func (s *Sim) Run(horizon time.Time) time.Time {
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.at.After(horizon) {
+			s.now = horizon
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	return s.now
+}
+
+// RunAll executes queued events until none remain.
+func (s *Sim) RunAll() time.Time {
+	for s.queue.Len() > 0 {
+		next := heap.Pop(&s.queue).(*simEvent)
+		s.now = next.at
+		next.fn()
+	}
+	return s.now
+}
+
+// Pending reports the number of scheduled, unexecuted events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+type simEvent struct {
+	at  time.Time
+	seq int64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type simHeap []*simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *simHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,199 @@
+// Package vclock provides the clock abstraction used throughout Octopus.
+//
+// Components never call time.Now or time.Sleep directly; they take a
+// Clock. In production (cmd/octopus-broker etc.) the clock is the real
+// wall clock. In the testbed simulator and in tests it is a Virtual
+// discrete-event clock, which lets experiments such as Figure 4 (a
+// 25-minute trigger-autoscaling run) execute in milliseconds while
+// preserving exact timing relationships.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source components depend on.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d on this clock.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the then-current time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After calls time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a discrete-event simulation clock. Goroutines that Sleep or
+// wait on After are suspended until the simulation driver advances time
+// past their deadline with Advance or Run.
+//
+// A Virtual clock tracks the number of goroutines blocked on it; the
+// driver advances time only when every registered worker is blocked,
+// giving deterministic execution (a conservative discrete-event engine).
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	// blocked counts goroutines currently suspended in Sleep/After.
+	blocked int
+	// workers is the number of goroutines participating in the
+	// simulation; Advance only proceeds when blocked == workers, unless
+	// workers == 0 (untracked mode, useful for simple tests).
+	workers int
+	cond    *sync.Cond
+}
+
+// NewVirtual creates a virtual clock starting at the given origin.
+func NewVirtual(origin time.Time) *Virtual {
+	v := &Virtual{now: origin}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep suspends the caller until virtual time advances by d.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After returns a channel that fires when virtual time reaches now+d.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	w := &waiter{deadline: v.now.Add(d), ch: ch}
+	heap.Push(&v.waiters, w)
+	v.blocked++
+	v.cond.Broadcast()
+	return ch
+}
+
+// AddWorkers registers n goroutines as simulation participants.
+func (v *Virtual) AddWorkers(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.workers += n
+	v.cond.Broadcast()
+}
+
+// DoneWorkers unregisters n goroutines.
+func (v *Virtual) DoneWorkers(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.workers -= n
+	v.cond.Broadcast()
+}
+
+// Advance moves virtual time forward by d, waking every waiter whose
+// deadline falls within the window in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	v.advanceTo(target)
+}
+
+// Step advances to the next pending deadline, if any, and reports whether
+// a waiter was released. It waits until all registered workers are
+// blocked before stepping, so event ordering is deterministic.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for v.workers > 0 && v.blocked < v.workers {
+		v.cond.Wait()
+	}
+	if v.waiters.Len() == 0 {
+		return false
+	}
+	next := v.waiters[0].deadline
+	v.advanceTo(next)
+	return true
+}
+
+// Run steps the simulation until no waiters remain or until virtual time
+// exceeds horizon. It returns the final virtual time.
+func (v *Virtual) Run(horizon time.Time) time.Time {
+	for {
+		v.mu.Lock()
+		for v.workers > 0 && v.blocked < v.workers {
+			v.cond.Wait()
+		}
+		if v.waiters.Len() == 0 || v.waiters[0].deadline.After(horizon) {
+			now := v.now
+			v.mu.Unlock()
+			return now
+		}
+		next := v.waiters[0].deadline
+		v.advanceTo(next)
+		v.mu.Unlock()
+	}
+}
+
+// advanceTo must be called with mu held.
+func (v *Virtual) advanceTo(target time.Time) {
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		if w.deadline.After(v.now) {
+			v.now = w.deadline
+		}
+		w.ch <- v.now
+		v.blocked--
+	}
+	if target.After(v.now) {
+		v.now = target
+	}
+}
+
+// Pending returns the number of goroutines waiting on the clock.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x any)        { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,208 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowStartsAtOrigin(t *testing.T) {
+	v := NewVirtual(origin)
+	if !v.Now().Equal(origin) {
+		t.Fatalf("Now = %v, want %v", v.Now(), origin)
+	}
+}
+
+func TestVirtualAdvanceWakesSleepers(t *testing.T) {
+	v := NewVirtual(origin)
+	done := make(chan time.Time, 1)
+	go func() {
+		v.Sleep(10 * time.Second)
+		done <- v.Now()
+	}()
+	// Wait until the sleeper has registered.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(10 * time.Second)
+	got := <-done
+	if want := origin.Add(10 * time.Second); !got.Equal(want) {
+		t.Fatalf("woke at %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvancePartial(t *testing.T) {
+	v := NewVirtual(origin)
+	ch := v.After(10 * time.Second)
+	v.Advance(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("woke too early")
+	default:
+	}
+	v.Advance(5 * time.Second)
+	select {
+	case ts := <-ch:
+		if want := origin.Add(10 * time.Second); !ts.Equal(want) {
+			t.Fatalf("fired at %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(origin)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+}
+
+func TestVirtualWaitersWakeInDeadlineOrder(t *testing.T) {
+	v := NewVirtual(origin)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range delays {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for v.Pending() < len(delays) {
+		time.Sleep(time.Millisecond)
+	}
+	// Advance in two steps: the 10 s and 20 s sleepers wake first.
+	v.Advance(25 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	firstTwo := append([]int(nil), order...)
+	mu.Unlock()
+	if (firstTwo[0] != 1 && firstTwo[0] != 2) || (firstTwo[1] != 1 && firstTwo[1] != 2) || firstTwo[0] == firstTwo[1] {
+		t.Fatalf("first wave = %v, want {1,2}", firstTwo)
+	}
+	v.Advance(10 * time.Second)
+	wg.Wait()
+	if order[2] != 0 {
+		t.Fatalf("wake order = %v, want sleeper 0 last", order)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(before) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestSimRunsCallbacksInTimeOrder(t *testing.T) {
+	s := NewSim(origin)
+	var order []string
+	s.After(3*time.Second, func() { order = append(order, "c") })
+	s.After(1*time.Second, func() { order = append(order, "a") })
+	s.After(2*time.Second, func() { order = append(order, "b") })
+	s.RunAll()
+	if got := len(order); got != 3 {
+		t.Fatalf("ran %d callbacks", got)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	if want := origin.Add(3 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("final time %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimEqualTimesRunInScheduleOrder(t *testing.T) {
+	s := NewSim(origin)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(origin)
+	hits := 0
+	s.After(time.Second, func() {
+		hits++
+		s.After(time.Second, func() { hits++ })
+	})
+	s.RunAll()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+	if want := origin.Add(2 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("final %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimRunHorizonStops(t *testing.T) {
+	s := NewSim(origin)
+	ran := false
+	s.After(10*time.Second, func() { ran = true })
+	s.Run(origin.Add(5 * time.Second))
+	if ran {
+		t.Fatal("callback beyond horizon ran")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(origin.Add(20 * time.Second))
+	if !ran {
+		t.Fatal("callback within horizon did not run")
+	}
+}
+
+func TestSimEvery(t *testing.T) {
+	s := NewSim(origin)
+	n := 0
+	s.Every(time.Second, func() bool {
+		n++
+		return n < 5
+	})
+	s.RunAll()
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	if want := origin.Add(5 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("final %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimPastSchedulingClampsToNow(t *testing.T) {
+	s := NewSim(origin)
+	s.After(5*time.Second, func() {
+		s.At(origin, func() {}) // in the past; must not rewind time
+	})
+	s.RunAll()
+	if s.Now().Before(origin.Add(5 * time.Second)) {
+		t.Fatalf("time went backwards: %v", s.Now())
+	}
+}

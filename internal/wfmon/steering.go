@@ -1,0 +1,186 @@
+package wfmon
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Steering implements the paper's stated future work for the workflow
+// use case (§VI-E): "we will extend Parsl to use this information in
+// various ways, for example, by retrying failed tasks, blacklisting
+// under-performing nodes, or elastically rescheduling tasks". It
+// consumes the Octopus monitoring stream and emits healing decisions:
+// retries for failed tasks and blacklists for straggler nodes.
+type Steering struct {
+	consumer *client.Consumer
+
+	// StragglerFactor marks a node as under-performing when its mean
+	// task duration exceeds the fleet mean by this factor (default 2).
+	StragglerFactor float64
+	// MinSamples is how many completed tasks a node needs before it can
+	// be judged (default 5).
+	MinSamples int
+	// MaxRetries bounds per-task retry decisions (default 3).
+	MaxRetries int
+
+	mu        sync.Mutex
+	nodeStats map[int]*nodeStat
+	retries   map[int]int // task -> retries issued
+	blacklist map[int]bool
+}
+
+type nodeStat struct {
+	completed int
+	totalMs   float64
+}
+
+func (n *nodeStat) mean() float64 {
+	if n.completed == 0 {
+		return 0
+	}
+	return n.totalMs / float64(n.completed)
+}
+
+// Decision is one steering output.
+type Decision struct {
+	// Kind is "retry" or "blacklist".
+	Kind string
+	// Task is set for retries.
+	Task int
+	// Node is set for blacklists.
+	Node int
+	// Reason explains the decision for operators.
+	Reason string
+}
+
+// NewSteering attaches a steering engine to the monitoring topic.
+func NewSteering(t client.Transport, topic string) (*Steering, error) {
+	c := client.NewConsumer(t, client.ConsumerConfig{Start: client.StartEarliest})
+	meta, err := t.TopicMeta(topic)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < meta.Config.Partitions; p++ {
+		if err := c.Assign(topic, p); err != nil {
+			return nil, err
+		}
+	}
+	return &Steering{
+		consumer:        c,
+		StragglerFactor: 2,
+		MinSamples:      5,
+		MaxRetries:      3,
+		nodeStats:       make(map[int]*nodeStat),
+		retries:         make(map[int]int),
+		blacklist:       make(map[int]bool),
+	}, nil
+}
+
+// Close releases the monitoring consumer.
+func (s *Steering) Close() error { return s.consumer.Close() }
+
+// Step drains available monitoring events and returns the healing
+// decisions they imply. It is deterministic given the event stream, so
+// callers can drive it from a poll loop or a trigger.
+func (s *Steering) Step() ([]Decision, error) {
+	evs, err := s.consumer.Poll(0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Decision
+	for _, ev := range evs {
+		doc, err := ev.JSON()
+		if err != nil {
+			continue
+		}
+		kind, _ := doc["kind"].(string)
+		taskF, _ := doc["task"].(float64)
+		nodeF, _ := doc["node"].(float64)
+		task, node := int(taskF), int(nodeF)
+		switch kind {
+		case "failure":
+			if s.retries[task] < s.MaxRetries {
+				s.retries[task]++
+				out = append(out, Decision{
+					Kind: "retry", Task: task, Node: node,
+					Reason: "task failure reported by monitor",
+				})
+			}
+		case "result":
+			dur, _ := doc["duration_ms"].(float64)
+			st, ok := s.nodeStats[node]
+			if !ok {
+				st = &nodeStat{}
+				s.nodeStats[node] = st
+			}
+			st.completed++
+			st.totalMs += dur
+		}
+	}
+	// Straggler detection over the accumulated per-node statistics.
+	out = append(out, s.detectStragglersLocked()...)
+	return out, nil
+}
+
+func (s *Steering) detectStragglersLocked() []Decision {
+	var totals float64
+	var n int
+	for _, st := range s.nodeStats {
+		if st.completed >= s.MinSamples {
+			totals += st.mean()
+			n++
+		}
+	}
+	if n < 2 {
+		return nil // need a fleet to compare against
+	}
+	fleetMean := totals / float64(n)
+	if fleetMean <= 0 {
+		return nil
+	}
+	var out []Decision
+	nodes := make([]int, 0, len(s.nodeStats))
+	for node := range s.nodeStats {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		st := s.nodeStats[node]
+		if s.blacklist[node] || st.completed < s.MinSamples {
+			continue
+		}
+		if st.mean() > fleetMean*s.StragglerFactor {
+			s.blacklist[node] = true
+			out = append(out, Decision{
+				Kind: "blacklist", Node: node,
+				Reason: "mean task duration exceeds fleet mean",
+			})
+		}
+	}
+	return out
+}
+
+// Blacklisted reports whether a node has been blacklisted.
+func (s *Steering) Blacklisted(node int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blacklist[node]
+}
+
+// RetryCount returns the retries issued for a task.
+func (s *Steering) RetryCount(task int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries[task]
+}
+
+// ReportFailure is a producer-side helper: publish a task-failure event
+// the steering engine will react to.
+func ReportFailure(m Monitor, task, node, worker int, at time.Time) {
+	m.Record(TaskEvent{Task: task, Node: node, Worker: worker, Kind: "failure", Time: at})
+}

@@ -1,0 +1,139 @@
+package wfmon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+)
+
+func TestSimulateHTEXOverheadFallsWithWorkers(t *testing.T) {
+	cfg := RunConfig{Tasks: 128, Nodes: 8, TaskDuration: 10 * time.Millisecond}
+	prev := -1.0
+	for _, w := range []int{1, 4, 16, 64} {
+		cfg.Workers = w
+		r := SimulateRun(cfg, HTEXModel())
+		if prev >= 0 && r.OverheadPerEventMs >= prev {
+			t.Fatalf("overhead did not fall at %d workers: %.3f >= %.3f", w, r.OverheadPerEventMs, prev)
+		}
+		prev = r.OverheadPerEventMs
+	}
+}
+
+func TestSimulateOctopusBeatsHTEX(t *testing.T) {
+	for _, dur := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond} {
+		for _, w := range []int{1, 8, 64} {
+			cfg := RunConfig{Tasks: 128, Nodes: 8, Workers: w, TaskDuration: dur}
+			h := SimulateRun(cfg, HTEXModel())
+			o := SimulateRun(cfg, OctopusModel())
+			if o.OverheadPerEventMs >= h.OverheadPerEventMs {
+				t.Errorf("dur=%v w=%d: octopus %.3f >= htex %.3f", dur, w, o.OverheadPerEventMs, h.OverheadPerEventMs)
+			}
+		}
+	}
+}
+
+func TestSimulateIdealAccounting(t *testing.T) {
+	cfg := RunConfig{Tasks: 128, Nodes: 8, Workers: 16, TaskDuration: 10 * time.Millisecond}
+	r := SimulateRun(cfg, MonitorModel{Name: "free"})
+	// No monitoring cost: makespan equals the ideal.
+	if r.Makespan != r.Ideal {
+		t.Fatalf("makespan %v != ideal %v with free monitor", r.Makespan, r.Ideal)
+	}
+	if r.OverheadPerEventMs != 0 {
+		t.Fatalf("overhead = %v", r.OverheadPerEventMs)
+	}
+	if r.Events != 128*4 {
+		t.Fatalf("events = %d", r.Events)
+	}
+	// ideal = ceil(128/16) waves * 10 ms.
+	if r.Ideal != 80*time.Millisecond {
+		t.Fatalf("ideal = %v", r.Ideal)
+	}
+}
+
+func TestSimulateSerializedResource(t *testing.T) {
+	// A fully serialized monitor bottlenecks on the shared lock:
+	// makespan >= events x cost regardless of worker count.
+	cfg := RunConfig{Tasks: 32, Nodes: 8, Workers: 32, TaskDuration: 0}
+	m := MonitorModel{Name: "lock", SyncCost: time.Millisecond, Serialized: true}
+	r := SimulateRun(cfg, m)
+	if r.Makespan < time.Duration(r.Events)*time.Millisecond {
+		t.Fatalf("serialized makespan = %v, want >= %v", r.Makespan, time.Duration(r.Events)*time.Millisecond)
+	}
+}
+
+func TestSimulateAsyncDrainExtendsMakespan(t *testing.T) {
+	// Zero-duration tasks, zero sync cost: only the async tail remains.
+	cfg := RunConfig{Tasks: 128, Nodes: 8, Workers: 64, TaskDuration: 0}
+	m := MonitorModel{Name: "async", AsyncBatch: 64, AsyncBatchCost: 10 * time.Millisecond}
+	r := SimulateRun(cfg, m)
+	// 512 events / 64 per batch = 8 batches x 10 ms pipelined.
+	if r.Makespan < 80*time.Millisecond {
+		t.Fatalf("drain not accounted: %v", r.Makespan)
+	}
+}
+
+func TestRealRunWithHTEXMonitor(t *testing.T) {
+	m := NewHTEXMonitor(0) // no artificial latency in unit tests
+	r := Run(RunConfig{Tasks: 16, Nodes: 2, Workers: 4, TaskDuration: time.Millisecond, EventsPerTask: 3}, m)
+	if m.Count() != 48 {
+		t.Fatalf("rows = %d, want 48", m.Count())
+	}
+	if r.Events != 48 {
+		t.Fatalf("events = %d", r.Events)
+	}
+	if r.Makespan <= 0 {
+		t.Fatal("no makespan measured")
+	}
+}
+
+func TestRealRunWithOctopusMonitor(t *testing.T) {
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(1, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("wf-monitoring", "", cluster.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewOctopusMonitor(client.NewDirect(f), "wf-monitoring")
+	defer m.Close()
+	r := Run(RunConfig{Tasks: 16, Nodes: 2, Workers: 4, TaskDuration: time.Millisecond}, m)
+	if r.Events != 64 {
+		t.Fatalf("events = %d", r.Events)
+	}
+	// Every event landed in the fabric after Flush.
+	var total int64
+	for p := 0; p < 2; p++ {
+		end, err := f.EndOffset("wf-monitoring", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += end
+	}
+	if total != 64 {
+		t.Fatalf("fabric holds %d events, want 64", total)
+	}
+}
+
+func TestRealRunEventKinds(t *testing.T) {
+	m := NewHTEXMonitor(0)
+	Run(RunConfig{Tasks: 4, Nodes: 1, Workers: 1, EventsPerTask: 4}, m)
+	kinds := map[string]int{}
+	for _, ev := range m.Rows {
+		kinds[ev.Kind]++
+	}
+	if kinds["launch"] != 4 || kinds["result"] != 4 || kinds["resource"] != 8 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	cfg := RunConfig{}
+	cfg.fill()
+	if cfg.Tasks != 128 || cfg.Nodes != 8 || cfg.Workers != 1 || cfg.EventsPerTask != 4 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+// Client is a client.Transport over the wire protocol: SDK producers
+// and consumers built on it run against a remote fabric unchanged.
+// Requests on one client are serialized (one in flight); open multiple
+// clients for parallelism, as the benchmarking operator does.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr string
+	// key/secret are replayed on reconnect.
+	keyID  string
+	secret string
+	anon   bool
+}
+
+// Dial connects and authenticates with an access key/secret.
+func Dial(addr, accessKeyID, secret string) (*Client, error) {
+	c := &Client{addr: addr, keyID: accessKeyID, secret: secret}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialAnonymous connects without credentials (servers with
+// AllowAnonymous only).
+func DialAnonymous(addr string) (*Client, error) {
+	c := &Client{addr: addr, anon: true}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, IOTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	handshake := &Request{Op: OpAuth, AccessKeyID: c.keyID, Secret: c.secret}
+	if c.anon {
+		// Probe with a ping so anonymous rejection surfaces at dial time.
+		handshake = &Request{Op: OpPing}
+	}
+	resp, _, err := c.roundTripLocked(handshake, nil)
+	if err == nil {
+		err = wireError(resp)
+	}
+	if err != nil {
+		conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+// wireError reconstructs sentinel errors from the error kind so that
+// errors.Is works across the network, which the SDK's retry logic needs.
+func wireError(resp *Response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	switch resp.ErrKind {
+	case "leader_unavailable":
+		return fmt.Errorf("%w: %s", broker.ErrLeaderUnavailable, resp.Err)
+	case "not_enough_replicas":
+		return fmt.Errorf("%w: %s", broker.ErrNotEnoughReplicas, resp.Err)
+	case "stale_generation":
+		return fmt.Errorf("%w: %s", broker.ErrStaleGeneration, resp.Err)
+	case "denied":
+		return fmt.Errorf("%w: %s", auth.ErrDenied, resp.Err)
+	case "bad_credentials":
+		return fmt.Errorf("%w: %s", auth.ErrBadCredentials, resp.Err)
+	default:
+		return errors.New(resp.Err)
+	}
+}
+
+func (c *Client) roundTrip(req *Request, payload []byte) (*Response, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, data, err := c.roundTripLocked(req, payload)
+	if err != nil {
+		// One reconnect attempt per call: the SDK's retry loop handles
+		// persistent failure.
+		if cerr := c.connect(); cerr != nil {
+			return nil, nil, err
+		}
+		return c.roundTripLocked(req, payload)
+	}
+	return resp, data, nil
+}
+
+func (c *Client) roundTripLocked(req *Request, payload []byte) (*Response, []byte, error) {
+	if c.conn == nil {
+		return nil, nil, errors.New("wire: not connected")
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(IOTimeout))
+	if err := WriteFrame(c.conn, req, payload); err != nil {
+		return nil, nil, err
+	}
+	var resp Response
+	data, err := ReadFrame(c.conn, &resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &resp, data, nil
+}
+
+// Produce implements client.Transport. identity is established by the
+// connection's credentials; the parameter is ignored.
+func (c *Client) Produce(_ string, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
+	req := &Request{Op: OpProduce, Topic: topic, Partition: partition, Acks: int(acks), NumEvents: len(evs)}
+	resp, _, err := c.roundTrip(req, EncodeEvents(evs))
+	if err != nil {
+		return 0, err
+	}
+	if err := wireError(resp); err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Fetch implements client.Transport.
+func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int) (broker.FetchResult, error) {
+	req := &Request{Op: OpFetch, Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
+	resp, data, err := c.roundTrip(req, nil)
+	if err != nil {
+		return broker.FetchResult{}, err
+	}
+	if err := wireError(resp); err != nil {
+		return broker.FetchResult{}, err
+	}
+	evs, err := DecodeEvents(data, resp.NumEvents)
+	if err != nil {
+		return broker.FetchResult{}, err
+	}
+	for i := range evs {
+		evs[i].Topic = topic
+		evs[i].Partition = partition
+		if i < len(resp.Offsets) {
+			evs[i].Offset = resp.Offsets[i]
+		}
+	}
+	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
+}
+
+func (c *Client) offsetOp(op Op, topic string, partition int, tnano int64) (int64, error) {
+	resp, _, err := c.roundTrip(&Request{Op: op, Topic: topic, Partition: partition, TimeNano: tnano}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := wireError(resp); err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// EndOffset implements client.Transport.
+func (c *Client) EndOffset(topic string, partition int) (int64, error) {
+	return c.offsetOp(OpEndOffset, topic, partition, 0)
+}
+
+// StartOffset implements client.Transport.
+func (c *Client) StartOffset(topic string, partition int) (int64, error) {
+	return c.offsetOp(OpStartOffset, topic, partition, 0)
+}
+
+// OffsetForTime implements client.Transport.
+func (c *Client) OffsetForTime(topic string, partition int, t time.Time) (int64, error) {
+	return c.offsetOp(OpOffsetForTime, topic, partition, t.UnixNano())
+}
+
+// TopicMeta implements client.Transport.
+func (c *Client) TopicMeta(topic string) (*cluster.TopicMeta, error) {
+	resp, _, err := c.roundTrip(&Request{Op: OpTopicMeta, Topic: topic}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := wireError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Meta, nil
+}
+
+// JoinGroup implements client.Transport.
+func (c *Client) JoinGroup(groupID, memberID string, topics []string) (broker.Assignment, error) {
+	resp, _, err := c.roundTrip(&Request{Op: OpJoinGroup, Group: groupID, Member: memberID, Topics: topics}, nil)
+	if err != nil {
+		return broker.Assignment{}, err
+	}
+	if err := wireError(resp); err != nil {
+		return broker.Assignment{}, err
+	}
+	asn := broker.Assignment{Generation: resp.Generation}
+	for _, tp := range resp.Partitions {
+		asn.Partitions = append(asn.Partitions, broker.TP{Topic: tp.Topic, Partition: tp.Partition})
+	}
+	return asn, nil
+}
+
+// LeaveGroup implements client.Transport.
+func (c *Client) LeaveGroup(groupID, memberID string) {
+	_, _, _ = c.roundTrip(&Request{Op: OpLeaveGroup, Group: groupID, Member: memberID}, nil)
+}
+
+// Heartbeat implements client.Transport.
+func (c *Client) Heartbeat(groupID, memberID string) (int, error) {
+	resp, _, err := c.roundTrip(&Request{Op: OpHeartbeat, Group: groupID, Member: memberID}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := wireError(resp); err != nil {
+		return 0, err
+	}
+	return resp.Generation, nil
+}
+
+// Commit implements client.Transport.
+func (c *Client) Commit(groupID, memberID string, generation int, topic string, partition int, offset int64) error {
+	resp, _, err := c.roundTrip(&Request{
+		Op: OpCommit, Group: groupID, Member: memberID, Generation: generation,
+		Topic: topic, Partition: partition, Offset: offset,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	return wireError(resp)
+}
+
+// Committed implements client.Transport.
+func (c *Client) Committed(groupID, topic string, partition int) int64 {
+	resp, _, err := c.roundTrip(&Request{Op: OpCommitted, Group: groupID, Topic: topic, Partition: partition}, nil)
+	if err != nil || wireError(resp) != nil {
+		return -1
+	}
+	return resp.Offset
+}

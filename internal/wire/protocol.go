@@ -1,0 +1,195 @@
+// Package wire is the Octopus binary network protocol: a length-framed
+// request/response RPC carrying JSON control headers and binary event
+// batches. It lets producers and consumers on remote resources (edge,
+// HPC login nodes, other clouds) talk to the cloud-hosted fabric, the
+// hybrid deployment model of §IV. The wire client implements
+// client.Transport, so SDK producers/consumers work unchanged over TCP.
+//
+// Frame layout (big endian):
+//
+//	u32 headerLen | header JSON | u32 payloadLen | payload bytes
+//
+// The payload is a concatenation of event.Marshal records for produce
+// requests and fetch responses, empty otherwise.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpAuth          Op = "auth"
+	OpProduce       Op = "produce"
+	OpFetch         Op = "fetch"
+	OpEndOffset     Op = "end_offset"
+	OpStartOffset   Op = "start_offset"
+	OpOffsetForTime Op = "offset_for_time"
+	OpTopicMeta     Op = "topic_meta"
+	OpJoinGroup     Op = "join_group"
+	OpLeaveGroup    Op = "leave_group"
+	OpHeartbeat     Op = "heartbeat"
+	OpCommit        Op = "commit"
+	OpCommitted     Op = "committed"
+	OpPing          Op = "ping"
+)
+
+// MaxFrame bounds a frame to keep a misbehaving peer from exhausting
+// memory (64 MiB, comfortably above the 6 MB trigger batch cap).
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports an over-sized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// Request is the JSON header of a client frame.
+type Request struct {
+	Op Op `json:"op"`
+	// Auth fields (OpAuth).
+	AccessKeyID string `json:"access_key_id,omitempty"`
+	Secret      string `json:"secret,omitempty"`
+	// Topic routing.
+	Topic     string `json:"topic,omitempty"`
+	Partition int    `json:"partition,omitempty"`
+	// Produce.
+	Acks      int `json:"acks,omitempty"`
+	NumEvents int `json:"num_events,omitempty"`
+	// Fetch / offsets.
+	Offset    int64 `json:"offset,omitempty"`
+	MaxEvents int   `json:"max_events,omitempty"`
+	MaxBytes  int   `json:"max_bytes,omitempty"`
+	TimeNano  int64 `json:"time_nano,omitempty"`
+	// Groups.
+	Group      string   `json:"group,omitempty"`
+	Member     string   `json:"member,omitempty"`
+	Topics     []string `json:"topics,omitempty"`
+	Generation int      `json:"generation,omitempty"`
+}
+
+// TPJSON is a topic partition in responses.
+type TPJSON struct {
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+}
+
+// Response is the JSON header of a server frame.
+type Response struct {
+	Err string `json:"err,omitempty"`
+	// ErrKind carries the sentinel class so clients can match with
+	// errors.Is across the wire ("leader_unavailable", "denied", ...).
+	ErrKind string `json:"err_kind,omitempty"`
+
+	Offset        int64              `json:"offset,omitempty"`
+	HighWatermark int64              `json:"high_watermark,omitempty"`
+	StartOffset   int64              `json:"start_offset,omitempty"`
+	NumEvents     int                `json:"num_events,omitempty"`
+	Generation    int                `json:"generation,omitempty"`
+	Partitions    []TPJSON           `json:"partitions,omitempty"`
+	Meta          *cluster.TopicMeta `json:"meta,omitempty"`
+	Identity      string             `json:"identity,omitempty"`
+	// Offsets carries per-event offsets for fetch responses (the binary
+	// event encoding omits container fields).
+	Offsets []int64 `json:"offsets,omitempty"`
+}
+
+// WriteFrame writes a header + payload frame.
+func WriteFrame(w io.Writer, header any, payload []byte) error {
+	hb, err := json.Marshal(header)
+	if err != nil {
+		return fmt.Errorf("wire: marshal header: %w", err)
+	}
+	if len(hb) > MaxFrame || len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 0, 8+len(hb)+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hb)))
+	buf = append(buf, hb...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, decoding the JSON header into header.
+func ReadFrame(r io.Reader, header any) (payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	hlen := binary.BigEndian.Uint32(lenBuf[:])
+	if hlen > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(hb, header); err != nil {
+		return nil, fmt.Errorf("wire: bad header: %w", err)
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.BigEndian.Uint32(lenBuf[:])
+	if plen > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if plen == 0 {
+		return nil, nil
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeEvents concatenates marshaled events into one payload.
+func EncodeEvents(evs []event.Event) []byte {
+	var buf []byte
+	for i := range evs {
+		buf = append(buf, evs[i].Marshal()...)
+	}
+	return buf
+}
+
+// DecodeEvents splits a payload into n events.
+func DecodeEvents(payload []byte, n int) ([]event.Event, error) {
+	out := make([]event.Event, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		ev, sz, err := event.Unmarshal(payload[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: event %d of %d: %w", i, n, err)
+		}
+		pos += sz
+		out = append(out, ev)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d events", len(payload)-pos, n)
+	}
+	return out, nil
+}
+
+// EncodeFetch encodes fetched events: offsets ride in the response
+// header; topic/partition are implied by the request.
+func EncodeFetch(evs []event.Event) (offsets []int64, payload []byte) {
+	offsets = make([]int64, len(evs))
+	for i := range evs {
+		offsets[i] = evs[i].Offset
+	}
+	return offsets, EncodeEvents(evs)
+}
+
+// Deadline for protocol I/O on a single frame exchange.
+const IOTimeout = 30 * time.Second

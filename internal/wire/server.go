@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/broker"
+)
+
+// Server exposes a fabric over TCP. Each connection authenticates once
+// with an IAM-style access key (OpAuth) and then issues data-plane
+// requests under that identity; ACLs are enforced by the fabric.
+type Server struct {
+	Fabric *broker.Fabric
+	// AllowAnonymous lets connections skip OpAuth and act as the
+	// trusted in-process identity. Off by default; used by tests and
+	// single-user deployments.
+	AllowAnonymous bool
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a wire server for the fabric.
+func NewServer(f *broker.Fabric) *Server {
+	return &Server{Fabric: f, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	identity := ""
+	authed := s.AllowAnonymous
+	for {
+		var req Request
+		payload, err := ReadFrame(conn, &req)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		resp, respPayload := s.handle(&req, payload, &identity, &authed)
+		if err := WriteFrame(conn, resp, respPayload); err != nil {
+			return
+		}
+	}
+}
+
+// errKind maps domain sentinels to wire error kinds.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, broker.ErrLeaderUnavailable):
+		return "leader_unavailable"
+	case errors.Is(err, broker.ErrNotEnoughReplicas):
+		return "not_enough_replicas"
+	case errors.Is(err, broker.ErrStaleGeneration):
+		return "stale_generation"
+	case errors.Is(err, auth.ErrDenied):
+		return "denied"
+	case errors.Is(err, auth.ErrBadCredentials):
+		return "bad_credentials"
+	default:
+		return "other"
+	}
+}
+
+func errResp(err error) *Response {
+	return &Response{Err: err.Error(), ErrKind: errKind(err)}
+}
+
+func (s *Server) handle(req *Request, payload []byte, identity *string, authed *bool) (*Response, []byte) {
+	if req.Op == OpAuth {
+		ident, err := s.Fabric.Auth.Authenticate(req.AccessKeyID, req.Secret)
+		if err != nil {
+			return errResp(err), nil
+		}
+		*identity = ident.ID
+		*authed = true
+		return &Response{Identity: ident.ID}, nil
+	}
+	if !*authed {
+		return errResp(fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)), nil
+	}
+	switch req.Op {
+	case OpPing:
+		return &Response{}, nil
+	case OpProduce:
+		evs, err := DecodeEvents(payload, req.NumEvents)
+		if err != nil {
+			return errResp(err), nil
+		}
+		off, err := s.Fabric.Produce(*identity, req.Topic, req.Partition, evs, broker.Acks(req.Acks))
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Offset: off}, nil
+	case OpFetch:
+		res, err := s.Fabric.Fetch(*identity, req.Topic, req.Partition, req.Offset, req.MaxEvents, req.MaxBytes)
+		if err != nil {
+			return errResp(err), nil
+		}
+		offsets, data := EncodeFetch(res.Events)
+		return &Response{
+			NumEvents:     len(res.Events),
+			Offsets:       offsets,
+			HighWatermark: res.HighWatermark,
+			StartOffset:   res.StartOffset,
+		}, data
+	case OpEndOffset:
+		off, err := s.Fabric.EndOffset(req.Topic, req.Partition)
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Offset: off}, nil
+	case OpStartOffset:
+		off, err := s.Fabric.StartOffset(req.Topic, req.Partition)
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Offset: off}, nil
+	case OpOffsetForTime:
+		off, err := s.Fabric.OffsetForTime(req.Topic, req.Partition, time.Unix(0, req.TimeNano))
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Offset: off}, nil
+	case OpTopicMeta:
+		meta, err := s.Fabric.Ctl.Topic(req.Topic)
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Meta: meta}, nil
+	case OpJoinGroup:
+		asn, err := s.Fabric.Groups.Join(req.Group, req.Member, req.Topics)
+		if err != nil {
+			return errResp(err), nil
+		}
+		tps := make([]TPJSON, len(asn.Partitions))
+		for i, tp := range asn.Partitions {
+			tps[i] = TPJSON{Topic: tp.Topic, Partition: tp.Partition}
+		}
+		return &Response{Generation: asn.Generation, Partitions: tps}, nil
+	case OpLeaveGroup:
+		s.Fabric.Groups.Leave(req.Group, req.Member)
+		return &Response{}, nil
+	case OpHeartbeat:
+		gen, err := s.Fabric.Groups.Heartbeat(req.Group, req.Member)
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{Generation: gen}, nil
+	case OpCommit:
+		err := s.Fabric.Groups.Commit(req.Group, req.Member, req.Generation, req.Topic, req.Partition, req.Offset)
+		if err != nil {
+			return errResp(err), nil
+		}
+		return &Response{}, nil
+	case OpCommitted:
+		off := s.Fabric.Groups.Committed(req.Group, req.Topic, req.Partition)
+		return &Response{Offset: off}, nil
+	default:
+		log.Printf("wire: unknown op %q", req.Op)
+		return errResp(fmt.Errorf("wire: unknown op %q", req.Op)), nil
+	}
+}

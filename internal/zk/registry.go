@@ -1,0 +1,332 @@
+// Package zk implements the coordination substrate Octopus relies on: a
+// strongly consistent, versioned, hierarchical key-value registry with
+// watches and ephemeral (session-bound) nodes — the role Apache
+// ZooKeeper plays for AWS MSK in the paper (§IV-C, §IV-F). The cluster
+// controller stores topic metadata and access-control lists here; it is
+// the "source of truth about which topics are owned by which identities".
+//
+// All mutations are serialized through a single mutex, giving
+// linearizable semantics; the paper notes ownership updates are
+// infrequent so this is not a bottleneck.
+package zk
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by registry operations.
+var (
+	// ErrNotFound reports a missing node.
+	ErrNotFound = errors.New("zk: node not found")
+	// ErrExists reports a create over an existing node.
+	ErrExists = errors.New("zk: node already exists")
+	// ErrBadVersion reports a compare-and-set version mismatch.
+	ErrBadVersion = errors.New("zk: version mismatch")
+	// ErrNoSession reports an ephemeral create with an expired session.
+	ErrNoSession = errors.New("zk: session expired")
+)
+
+// EventType classifies a watch notification.
+type EventType int
+
+// Watch notification kinds.
+const (
+	EventCreated EventType = iota
+	EventChanged
+	EventDeleted
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventChanged:
+		return "changed"
+	case EventDeleted:
+		return "deleted"
+	}
+	return "unknown"
+}
+
+// WatchEvent is delivered to watchers when a node changes.
+type WatchEvent struct {
+	Type    EventType
+	Path    string
+	Data    []byte
+	Version int64
+}
+
+type node struct {
+	data      []byte
+	version   int64
+	ephemeral int64 // owning session id, 0 if persistent
+}
+
+// Registry is the in-memory coordination store.
+type Registry struct {
+	mu       sync.Mutex
+	nodes    map[string]*node
+	watches  map[string][]chan WatchEvent // exact-path watches
+	children map[string][]chan WatchEvent // child watches on a prefix
+	sessions map[int64]map[string]bool
+	nextSess int64
+	closed   bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		nodes:    make(map[string]*node),
+		watches:  make(map[string][]chan WatchEvent),
+		children: make(map[string][]chan WatchEvent),
+		sessions: make(map[int64]map[string]bool),
+	}
+}
+
+func clean(path string) string {
+	path = strings.TrimRight(path, "/")
+	if path == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return path
+}
+
+// Create stores a new node. It fails with ErrExists if the path is taken.
+func (r *Registry) Create(path string, data []byte) error {
+	return r.create(path, data, 0)
+}
+
+// CreateEphemeral stores a node bound to a session: when the session
+// expires, the node is deleted and watchers notified. This is how broker
+// liveness is tracked by the controller.
+func (r *Registry) CreateEphemeral(path string, data []byte, session int64) error {
+	return r.create(path, data, session)
+}
+
+func (r *Registry) create(path string, data []byte, session int64) error {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[path]; ok {
+		return ErrExists
+	}
+	if session != 0 {
+		owned, ok := r.sessions[session]
+		if !ok {
+			return ErrNoSession
+		}
+		owned[path] = true
+	}
+	r.nodes[path] = &node{data: append([]byte(nil), data...), version: 1, ephemeral: session}
+	r.notifyLocked(path, WatchEvent{Type: EventCreated, Path: path, Data: append([]byte(nil), data...), Version: 1})
+	return nil
+}
+
+// Get returns the node's data and version.
+func (r *Registry) Get(path string) ([]byte, int64, error) {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[path]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	return append([]byte(nil), n.data...), n.version, nil
+}
+
+// Set replaces a node's data unconditionally and returns the new version.
+func (r *Registry) Set(path string, data []byte) (int64, error) {
+	return r.set(path, data, -1)
+}
+
+// CompareAndSet replaces the data only if the stored version matches.
+func (r *Registry) CompareAndSet(path string, data []byte, version int64) (int64, error) {
+	return r.set(path, data, version)
+}
+
+func (r *Registry) set(path string, data []byte, version int64) (int64, error) {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[path]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if version >= 0 && n.version != version {
+		return 0, ErrBadVersion
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	r.notifyLocked(path, WatchEvent{Type: EventChanged, Path: path, Data: append([]byte(nil), data...), Version: n.version})
+	return n.version, nil
+}
+
+// SetOrCreate upserts a node, creating it if absent.
+func (r *Registry) SetOrCreate(path string, data []byte) int64 {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[path]
+	if !ok {
+		r.nodes[path] = &node{data: append([]byte(nil), data...), version: 1}
+		r.notifyLocked(path, WatchEvent{Type: EventCreated, Path: path, Data: append([]byte(nil), data...), Version: 1})
+		return 1
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	r.notifyLocked(path, WatchEvent{Type: EventChanged, Path: path, Data: append([]byte(nil), data...), Version: n.version})
+	return n.version
+}
+
+// Delete removes a node.
+func (r *Registry) Delete(path string) error {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deleteLocked(path)
+}
+
+func (r *Registry) deleteLocked(path string) error {
+	n, ok := r.nodes[path]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(r.nodes, path)
+	if n.ephemeral != 0 {
+		if owned, ok := r.sessions[n.ephemeral]; ok {
+			delete(owned, path)
+		}
+	}
+	r.notifyLocked(path, WatchEvent{Type: EventDeleted, Path: path, Version: n.version})
+	return nil
+}
+
+// Children returns the sorted immediate child names under a path.
+func (r *Registry) Children(path string) []string {
+	path = clean(path)
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	} else {
+		prefix = "/"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	for p := range r.nodes {
+		if !strings.HasPrefix(p, prefix) || p == path {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		name, _, _ := strings.Cut(rest, "/")
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns all paths with the given prefix, sorted.
+func (r *Registry) List(prefix string) []string {
+	prefix = clean(prefix)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for p := range r.nodes {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") || prefix == "/" {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers for change notifications on an exact path. The channel
+// is buffered; notifications that overflow the buffer are dropped, so
+// watchers should treat events as hints and re-read state.
+func (r *Registry) Watch(path string) <-chan WatchEvent {
+	path = clean(path)
+	ch := make(chan WatchEvent, 64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.watches[path] = append(r.watches[path], ch)
+	return ch
+}
+
+// WatchChildren registers for notifications on any path under prefix.
+func (r *Registry) WatchChildren(prefix string) <-chan WatchEvent {
+	prefix = clean(prefix)
+	ch := make(chan WatchEvent, 64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children[prefix] = append(r.children[prefix], ch)
+	return ch
+}
+
+func (r *Registry) notifyLocked(path string, ev WatchEvent) {
+	for _, ch := range r.watches[path] {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	for prefix, chans := range r.children {
+		if prefix == "/" || strings.HasPrefix(path, prefix+"/") || path == prefix {
+			for _, ch := range chans {
+				select {
+				case ch <- ev:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// NewSession opens a session for ephemeral nodes and returns its id.
+func (r *Registry) NewSession() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSess++
+	id := r.nextSess
+	r.sessions[id] = make(map[string]bool)
+	return id
+}
+
+// ExpireSession removes the session and deletes its ephemeral nodes,
+// simulating a broker losing its ZooKeeper connection.
+func (r *Registry) ExpireSession(id int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owned, ok := r.sessions[id]
+	if !ok {
+		return
+	}
+	delete(r.sessions, id)
+	paths := make([]string, 0, len(owned))
+	for p := range owned {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		// deleteLocked ignores already-removed nodes.
+		_ = r.deleteLocked(p)
+	}
+}
+
+// Exists reports whether the path is present.
+func (r *Registry) Exists(path string) bool {
+	path = clean(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.nodes[path]
+	return ok
+}

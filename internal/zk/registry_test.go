@@ -1,0 +1,286 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateGetDelete(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("/a/b", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := r.Get("/a/b")
+	if err != nil || string(data) != "v1" || ver != 1 {
+		t.Fatalf("get: %q v%d err=%v", data, ver, err)
+	}
+	if err := r.Create("/a/b", []byte("dup")); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup create: %v", err)
+	}
+	if err := r.Delete("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("/a/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	if err := r.Delete("/a/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("x/y", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("/x/y"); err != nil {
+		t.Fatalf("normalized get: %v", err)
+	}
+	if _, _, err := r.Get("/x/y/"); err != nil {
+		t.Fatalf("trailing slash get: %v", err)
+	}
+}
+
+func TestSetIncrementsVersion(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("/n", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Set("/n", []byte("b"))
+	if err != nil || v != 2 {
+		t.Fatalf("set: v=%d err=%v", v, err)
+	}
+	if _, err := r.Set("/missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("set missing: %v", err)
+	}
+}
+
+func TestCompareAndSet(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("/cas", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CompareAndSet("/cas", []byte("b"), 99); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale cas: %v", err)
+	}
+	v, err := r.CompareAndSet("/cas", []byte("b"), 1)
+	if err != nil || v != 2 {
+		t.Fatalf("cas: v=%d err=%v", v, err)
+	}
+	data, _, _ := r.Get("/cas")
+	if string(data) != "b" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestCASSerializesConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("/ctr", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				for {
+					data, ver, err := r.Get("/ctr")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var n int
+					fmt.Sscanf(string(data), "%d", &n)
+					_, err = r.CompareAndSet("/ctr", []byte(fmt.Sprintf("%d", n+1)), ver)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBadVersion) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	data, _, _ := r.Get("/ctr")
+	var n int
+	fmt.Sscanf(string(data), "%d", &n)
+	if n != writers*perWriter {
+		t.Fatalf("counter = %d, want %d (lost updates)", n, writers*perWriter)
+	}
+}
+
+func TestChildrenAndList(t *testing.T) {
+	r := NewRegistry()
+	for _, p := range []string{"/t/b", "/t/a", "/t/c/deep", "/other"} {
+		if err := r.Create(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Children("/t"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("children = %v", got)
+	}
+	if got := r.List("/t"); len(got) != 3 {
+		t.Fatalf("list = %v", got)
+	}
+	if got := r.Children("/none"); len(got) != 0 {
+		t.Fatalf("children of missing = %v", got)
+	}
+}
+
+func TestWatchDeliversCreateChangeDelete(t *testing.T) {
+	r := NewRegistry()
+	ch := r.Watch("/w")
+	if err := r.Create("/w", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Set("/w", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("/w"); err != nil {
+		t.Fatal(err)
+	}
+	want := []EventType{EventCreated, EventChanged, EventDeleted}
+	for i, w := range want {
+		ev := <-ch
+		if ev.Type != w || ev.Path != "/w" {
+			t.Fatalf("event %d = %+v, want type %v", i, ev, w)
+		}
+	}
+}
+
+func TestWatchChildrenSeesSubtree(t *testing.T) {
+	r := NewRegistry()
+	ch := r.WatchChildren("/topics")
+	if err := r.Create("/topics/t1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-ch
+	if ev.Path != "/topics/t1" || ev.Type != EventCreated {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Unrelated paths do not notify.
+	if err := r.Create("/acls/t1", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+}
+
+func TestEphemeralNodesDieWithSession(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewSession()
+	if err := r.CreateEphemeral("/brokers/1", []byte("b1"), s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateEphemeral("/brokers/2", []byte("b2"), s); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exists("/brokers/1") {
+		t.Fatal("ephemeral node missing")
+	}
+	ch := r.Watch("/brokers/1")
+	r.ExpireSession(s)
+	if r.Exists("/brokers/1") || r.Exists("/brokers/2") {
+		t.Fatal("ephemeral nodes survived session expiry")
+	}
+	ev := <-ch
+	if ev.Type != EventDeleted {
+		t.Fatalf("watch saw %+v, want delete", ev)
+	}
+}
+
+func TestEphemeralWithDeadSession(t *testing.T) {
+	r := NewRegistry()
+	if err := r.CreateEphemeral("/x", nil, 42); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("err = %v, want ErrNoSession", err)
+	}
+}
+
+func TestSetOrCreateUpserts(t *testing.T) {
+	r := NewRegistry()
+	if v := r.SetOrCreate("/u", []byte("a")); v != 1 {
+		t.Fatalf("create version = %d", v)
+	}
+	if v := r.SetOrCreate("/u", []byte("b")); v != 2 {
+		t.Fatalf("update version = %d", v)
+	}
+	data, _, _ := r.Get("/u")
+	if string(data) != "b" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Create("/c", []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ := r.Get("/c")
+	data[0] = 'X'
+	again, _, _ := r.Get("/c")
+	if string(again) != "orig" {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+// TestRegistryModelProperty drives random operation sequences against
+// the registry and an oracle map, checking observable equivalence.
+func TestRegistryModelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		r := NewRegistry()
+		oracle := map[string]string{}
+		paths := []string{"/a", "/a/b", "/c", "/c/d/e"}
+		for i, op := range ops {
+			path := paths[int(op)%len(paths)]
+			val := fmt.Sprintf("v%d", i)
+			switch (op / 4) % 3 {
+			case 0: // create
+				err := r.Create(path, []byte(val))
+				_, exists := oracle[path]
+				if exists != (err != nil) {
+					return false
+				}
+				if err == nil {
+					oracle[path] = val
+				}
+			case 1: // set-or-create
+				r.SetOrCreate(path, []byte(val))
+				oracle[path] = val
+			case 2: // delete
+				err := r.Delete(path)
+				_, exists := oracle[path]
+				if exists == (err != nil) {
+					return false
+				}
+				delete(oracle, path)
+			}
+			// Observable state must match the oracle.
+			for _, p := range paths {
+				data, _, err := r.Get(p)
+				want, exists := oracle[p]
+				if exists != (err == nil) {
+					return false
+				}
+				if exists && string(data) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

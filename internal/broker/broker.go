@@ -9,7 +9,6 @@ package broker
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +120,13 @@ type Fabric struct {
 	mu    sync.RWMutex
 	nodes map[int]*Node
 
+	// routes caches per-topic routing tables (decoded metadata + leader
+	// log handles), keyed by the controller's metadata epoch; see route.go.
+	routes sync.Map // map[string]*topicRoute
+	// routePruned is the last epoch at which deleted topics were swept
+	// out of the route cache.
+	routePruned atomic.Int64
+
 	Groups  *Coordinator
 	Metrics *metrics.Registry
 	// Quotas enforces per-identity produce rate limits (§VII-C).
@@ -129,6 +135,12 @@ type Fabric struct {
 	// MinInsyncReplicas is the minimum ISR size accepted by acks=all
 	// produces (Kafka's min.insync.replicas; default 1).
 	MinInsyncReplicas int
+
+	// Hot-path counters, resolved once so produce/fetch skip the
+	// registry's name lookup (and its mutex) per call.
+	cProduced    *metrics.Counter
+	cFetched     *metrics.Counter
+	cRateLimited *metrics.Counter
 }
 
 // NewFabric assembles a fabric over a fresh registry.
@@ -149,6 +161,9 @@ func NewFabric(clock vclock.Clock) *Fabric {
 		MinInsyncReplicas: 1,
 	}
 	f.Groups = NewCoordinator(f)
+	f.cProduced = f.Metrics.Counter("fabric.produced")
+	f.cFetched = f.Metrics.Counter("fabric.fetched")
+	f.cRateLimited = f.Metrics.Counter("fabric.rate_limited")
 	return f
 }
 
@@ -217,9 +232,7 @@ func partitionFor(ev *event.Event, parts int) int {
 		return 0
 	}
 	if len(ev.Key) > 0 {
-		h := fnv.New32a()
-		h.Write(ev.Key)
-		return int(h.Sum32() % uint32(parts))
+		return int(fnv1a(ev.Key) % uint32(parts))
 	}
 	return int(rrCounter.Add(1) % uint64(parts))
 }
@@ -239,63 +252,61 @@ func (f *Fabric) Produce(identity, topic string, partition int, evs []event.Even
 		}
 	}
 	if err := f.Quotas.Admit(identity, len(evs)); err != nil {
-		f.Metrics.Counter("fabric.rate_limited").Add(int64(len(evs)))
+		f.cRateLimited.Add(int64(len(evs)))
 		return 0, err
 	}
-	meta, err := f.Ctl.Topic(topic)
+	rt, err := f.route(topic)
 	if err != nil {
 		return 0, err
 	}
-	// Group events by destination partition preserving order.
-	byPart := make(map[int][]event.Event)
-	order := make([]int, 0, 4)
+	parts := rt.meta.Config.Partitions
+	if partition >= parts {
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topic, partition)
+	}
+	// Route each event, then deep-copy the whole batch through one
+	// contiguous arena into pooled per-partition buckets: the seed's
+	// per-call partition map and per-event Clone were the produce path's
+	// dominant allocations.
+	sc := scratchPool.Get().(*produceScratch)
+	sc.prepare(len(evs), parts)
 	for i := range evs {
 		p := partition
 		if p < 0 {
-			p = partitionFor(&evs[i], meta.Config.Partitions)
+			// Always in [0, parts): normalize() guarantees parts >= 1.
+			p = partitionFor(&evs[i], parts)
 		}
-		if p >= meta.Config.Partitions || p < 0 {
-			return 0, fmt.Errorf("%w: %s/%d", ErrNoPartition, topic, p)
-		}
-		if _, ok := byPart[p]; !ok {
-			order = append(order, p)
-		}
-		byPart[p] = append(byPart[p], evs[i].Clone())
+		sc.pidx[i] = p
 	}
+	arenaClone(evs, sc.pidx, rt.meta.Name, sc)
 	var base int64 = -1
-	for _, p := range order {
-		off, err := f.producePartition(meta, p, byPart[p], acks)
+	for _, p := range sc.order {
+		off, err := f.producePartition(rt, p, sc.buckets[p], acks)
 		if err != nil {
+			sc.release()
 			return 0, err
 		}
 		if base < 0 {
 			base = off
 		}
 	}
-	f.Metrics.Counter("fabric.produced").Add(int64(len(evs)))
+	sc.release()
+	f.cProduced.Add(int64(len(evs)))
 	return base, nil
 }
 
-func (f *Fabric) producePartition(meta *cluster.TopicMeta, p int, evs []event.Event, acks Acks) (int64, error) {
-	pm := meta.Partitions[p]
-	if pm.Leader < 0 {
-		return 0, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, meta.Name, p)
+func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks Acks) (int64, error) {
+	pr := &rt.parts[p]
+	if pr.leaderID < 0 || pr.leader == nil {
+		return 0, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, rt.meta.Name, p)
 	}
-	leader, ok := f.Node(pm.Leader)
-	if !ok || leader.Down() {
-		return 0, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, meta.Name, p, pm.Leader)
+	if pr.leader.Down() {
+		return 0, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, rt.meta.Name, p, pr.leaderID)
 	}
-	if acks == AcksAll && len(pm.ISR) < f.MinInsyncReplicas {
-		return 0, fmt.Errorf("%w: isr=%d min=%d", ErrNotEnoughReplicas, len(pm.ISR), f.MinInsyncReplicas)
+	if acks == AcksAll && pr.isr < f.MinInsyncReplicas {
+		return 0, fmt.Errorf("%w: isr=%d min=%d", ErrNotEnoughReplicas, pr.isr, f.MinInsyncReplicas)
 	}
-	tp := TP{Topic: meta.Name, Partition: p}
 	now := f.Clock.Now()
-	for i := range evs {
-		evs[i].Topic = meta.Name
-		evs[i].Partition = p
-	}
-	lcfg := logConfig(meta.Config)
-	base, err := leader.log(tp, lcfg).AppendBatch(evs, now)
+	base, err := pr.log.AppendBatch(evs, now)
 	if err != nil {
 		return 0, err
 	}
@@ -303,17 +314,13 @@ func (f *Fabric) producePartition(meta *cluster.TopicMeta, p int, evs []event.Ev
 	// the produce call: followers apply the same batch at the same
 	// offsets, so logs stay identical and failover is lossless for
 	// acks>=1 produces. (The latency cost of waiting is modeled by the
-	// client/testbed layers; in-process application is immediate.)
-	for _, r := range pm.ISR {
-		if r == pm.Leader {
-			continue
-		}
-		fn, ok := f.Node(r)
-		if !ok || fn.Down() {
-			continue
-		}
-		if _, err := fn.log(tp, lcfg).AppendBatch(evs, now); err != nil {
-			return 0, fmt.Errorf("broker: replicate %s to %d: %w", tp, r, err)
+	// client/testbed layers; in-process application is immediate.) The
+	// follower handles were resolved at route-build time; any ISR change
+	// bumps the metadata epoch and rebuilds the route before the next
+	// call.
+	for _, fl := range pr.followers {
+		if _, err := fl.AppendBatch(evs, now); err != nil {
+			return 0, fmt.Errorf("broker: replicate %s-%d: %w", rt.meta.Name, p, err)
 		}
 	}
 	return base, nil
@@ -330,55 +337,36 @@ type FetchResult struct {
 
 // Fetch reads up to maxEvents events (and at most maxBytes payload bytes,
 // if > 0) from the partition starting at offset. identity is checked for
-// READ permission unless empty.
+// READ permission unless empty. The byte budget follows Log.ReadBytes
+// semantics: at least one event is returned when any is available, and
+// only the first event may exceed the budget.
 func (f *Fabric) Fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int) (FetchResult, error) {
 	if identity != "" {
 		if err := f.ACL.Check(topic, identity, auth.PermRead); err != nil {
 			return FetchResult{}, err
 		}
 	}
-	l, err := f.leaderLog(topic, partition)
+	pr, err := f.partitionRoute(topic, partition)
 	if err != nil {
 		return FetchResult{}, err
 	}
 	if maxEvents <= 0 {
 		maxEvents = 1 << 20
 	}
-	evs, err := l.Read(offset, maxEvents)
+	evs, err := pr.log.ReadBudget(offset, maxEvents, maxBytes)
 	if err != nil {
 		return FetchResult{}, err
 	}
-	if maxBytes > 0 {
-		total := 0
-		for i := range evs {
-			total += evs[i].Size()
-			if total > maxBytes && i > 0 {
-				evs = evs[:i]
-				break
-			}
-		}
-	}
-	f.Metrics.Counter("fabric.fetched").Add(int64(len(evs)))
-	return FetchResult{Events: evs, HighWatermark: l.EndOffset(), StartOffset: l.StartOffset()}, nil
+	f.cFetched.Add(int64(len(evs)))
+	return FetchResult{Events: evs, HighWatermark: pr.log.EndOffset(), StartOffset: pr.log.StartOffset()}, nil
 }
 
 func (f *Fabric) leaderLog(topic string, partition int) (*eventlog.Log, error) {
-	pm, err := f.Ctl.Partition(topic, partition)
+	pr, err := f.partitionRoute(topic, partition)
 	if err != nil {
 		return nil, err
 	}
-	if pm.Leader < 0 {
-		return nil, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
-	}
-	leader, ok := f.Node(pm.Leader)
-	if !ok || leader.Down() {
-		return nil, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, topic, partition, pm.Leader)
-	}
-	meta, err := f.Ctl.Topic(topic)
-	if err != nil {
-		return nil, err
-	}
-	return leader.log(TP{Topic: topic, Partition: partition}, logConfig(meta.Config)), nil
+	return pr.log, nil
 }
 
 // EndOffset returns the partition's end offset (the next offset to be

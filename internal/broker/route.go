@@ -1,0 +1,238 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+)
+
+// Routing cache: the produce/fetch hot path must not touch the registry.
+//
+// Topic metadata lives JSON-encoded in the registry, so the seed resolved
+// every produce and fetch through a registry read plus a full TopicMeta
+// decode — dozens of allocations per call before a single byte reached a
+// log. The fabric now caches a decoded topicRoute per topic: partition
+// leaders, their *eventlog.Log handles, and the in-sync follower handles
+// replication writes to. Entries are tagged with the controller's
+// metadata epoch; any control-plane mutation (leader election, ISR
+// change, partition growth, topic delete) bumps the epoch, and the next
+// data-plane call on a stale entry rebuilds it. Validity is therefore a
+// single atomic comparison per call, and failover correctness reduces to
+// "every leader change bumps the epoch", which the controller guarantees.
+
+// partitionRoute is one partition's resolved placement.
+type partitionRoute struct {
+	// leaderID is the broker id serving the partition, -1 if leaderless.
+	leaderID int
+	// leader is the resolved leader node (nil when leaderless); its Down
+	// flag is still checked per call, covering the window between a
+	// broker stopping and the controller's re-election bumping the epoch.
+	leader *Node
+	// log is the leader's replica log.
+	log *eventlog.Log
+	// followers are the in-sync, live follower logs (leader excluded)
+	// that synchronous replication appends to.
+	followers []*eventlog.Log
+	// isr is the ISR size, used by the acks=all admission check.
+	isr int
+}
+
+// topicRoute is a topic's fully resolved routing table.
+type topicRoute struct {
+	epoch int64
+	meta  *cluster.TopicMeta
+	parts []partitionRoute
+}
+
+// route returns the topic's routing table, rebuilding it if the metadata
+// epoch moved since it was cached.
+func (f *Fabric) route(topic string) (*topicRoute, error) {
+	epoch := f.Ctl.Epoch()
+	if v, ok := f.routes.Load(topic); ok {
+		rt := v.(*topicRoute)
+		if rt.epoch == epoch {
+			return rt, nil
+		}
+	}
+	return f.buildRoute(topic)
+}
+
+// buildRoute resolves a topic's metadata into log handles and caches it.
+func (f *Fabric) buildRoute(topic string) (*topicRoute, error) {
+	// Read the epoch before the metadata: if a mutation lands in between,
+	// the entry is stored with the older epoch and the next call rebuilds.
+	epoch := f.Ctl.Epoch()
+	f.pruneRoutes(epoch)
+	meta, err := f.Ctl.Topic(topic)
+	if err != nil {
+		f.routes.Delete(topic)
+		return nil, err
+	}
+	rt := &topicRoute{epoch: epoch, meta: meta, parts: make([]partitionRoute, len(meta.Partitions))}
+	lcfg := logConfig(meta.Config)
+	for i := range meta.Partitions {
+		pm := &meta.Partitions[i]
+		pr := &rt.parts[i]
+		pr.leaderID = pm.Leader
+		pr.isr = len(pm.ISR)
+		if pm.Leader < 0 {
+			continue
+		}
+		leader, ok := f.Node(pm.Leader)
+		if !ok {
+			pr.leaderID = -1
+			continue
+		}
+		tp := TP{Topic: meta.Name, Partition: pm.ID}
+		pr.leader = leader
+		pr.log = leader.log(tp, lcfg)
+		for _, r := range pm.ISR {
+			if r == pm.Leader {
+				continue
+			}
+			fn, ok := f.Node(r)
+			if !ok || fn.Down() {
+				continue
+			}
+			pr.followers = append(pr.followers, fn.log(tp, lcfg))
+		}
+	}
+	f.routes.Store(topic, rt)
+	return rt, nil
+}
+
+// pruneRoutes drops cache entries for topics that no longer exist, so a
+// churny workload (create topic, produce, delete) cannot grow the cache
+// unboundedly: deleted topics are only otherwise evicted when someone
+// touches them again. Runs at most once per metadata epoch, and epoch
+// bumps are control-plane-rare, so the topic-list walk stays off the
+// steady-state path.
+func (f *Fabric) pruneRoutes(epoch int64) {
+	if f.routePruned.Swap(epoch) == epoch {
+		return
+	}
+	live := make(map[string]bool)
+	for _, t := range f.Ctl.Topics() {
+		live[t] = true
+	}
+	f.routes.Range(func(k, _ any) bool {
+		if !live[k.(string)] {
+			f.routes.Delete(k)
+		}
+		return true
+	})
+}
+
+// partitionRoute resolves one partition for the fetch-side paths,
+// enforcing leader availability.
+func (f *Fabric) partitionRoute(topic string, partition int) (*partitionRoute, error) {
+	rt, err := f.route(topic)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= len(rt.parts) {
+		return nil, fmt.Errorf("cluster: %s has no partition %d", topic, partition)
+	}
+	pr := &rt.parts[partition]
+	if pr.leaderID < 0 || pr.leader == nil || pr.leader.Down() {
+		return nil, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
+	}
+	return pr, nil
+}
+
+// produceScratch is the reusable per-produce working set: the partition
+// assignment of each event and the per-partition buckets events are
+// grouped into. Pooled so the steady-state produce path allocates only
+// the batch arena.
+type produceScratch struct {
+	pidx    []int
+	order   []int
+	buckets [][]event.Event
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(produceScratch) }}
+
+// prepare sizes the scratch for nEvents events across parts partitions.
+func (s *produceScratch) prepare(nEvents, parts int) {
+	if cap(s.pidx) < nEvents {
+		s.pidx = make([]int, nEvents)
+	}
+	s.pidx = s.pidx[:nEvents]
+	s.order = s.order[:0]
+	if cap(s.buckets) < parts {
+		s.buckets = make([][]event.Event, parts)
+	}
+	s.buckets = s.buckets[:parts]
+}
+
+// release clears event references (so the pool does not pin batch arenas
+// past the records' lifetime) and returns the scratch to the pool.
+func (s *produceScratch) release() {
+	for i := range s.buckets {
+		clear(s.buckets[i])
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	scratchPool.Put(s)
+}
+
+// FNV-1a, inlined: hash/fnv allocates a hasher per call, which is pure
+// overhead on the keyed-routing hot path. Constants and algorithm match
+// hash/fnv's 32-bit variant exactly, so key→partition routing is stable
+// across the change.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv1a(b []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// arenaClone deep-copies src into dst buckets (or a single flat batch
+// when buckets is nil) using one contiguous arena allocation for all keys
+// and values: the per-event Clone of the seed cost one to two allocations
+// per event. Headers, when present, still clone per event — the
+// steady-state fabric workloads are header-free. Returned events carry
+// topic/partition from their bucket assignment.
+func arenaClone(src []event.Event, pidx []int, topic string, scratch *produceScratch) {
+	total := 0
+	for i := range src {
+		total += len(src[i].Key) + len(src[i].Value)
+	}
+	arena := make([]byte, 0, total)
+	for i := range src {
+		ev := src[i]
+		if len(ev.Key) > 0 {
+			n := len(arena)
+			arena = append(arena, ev.Key...)
+			ev.Key = arena[n:len(arena):len(arena)]
+		}
+		if len(ev.Value) > 0 {
+			n := len(arena)
+			arena = append(arena, ev.Value...)
+			ev.Value = arena[n:len(arena):len(arena)]
+		}
+		if ev.Headers != nil {
+			h := make(map[string]string, len(ev.Headers))
+			for k, v := range ev.Headers {
+				h[k] = v
+			}
+			ev.Headers = h
+		}
+		p := pidx[i]
+		ev.Topic = topic
+		ev.Partition = p
+		if len(scratch.buckets[p]) == 0 {
+			scratch.order = append(scratch.order, p)
+		}
+		scratch.buckets[p] = append(scratch.buckets[p], ev)
+	}
+}

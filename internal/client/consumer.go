@@ -239,7 +239,14 @@ func (c *Consumer) pollLocked(max int) ([]event.Event, error) {
 				return out, err
 			}
 		}
-		out = append(out, res.Events...)
+		if out == nil {
+			// Common case: one partition satisfies the poll. Adopt the
+			// fetch result's slice (it is freshly built per fetch) rather
+			// than re-copying every event.
+			out = res.Events
+		} else {
+			out = append(out, res.Events...)
+		}
 		if len(res.Events) > 0 {
 			last := res.Events[len(res.Events)-1]
 			c.positions[tp] = last.Offset + 1

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vclock"
 	"repro/internal/zk"
@@ -23,7 +24,21 @@ type Controller struct {
 	// rr rotates the starting broker for partition assignment so load
 	// spreads across the cluster as topics are created.
 	rr int
+	// epoch increments on every metadata mutation (topic create/delete,
+	// partition growth, config change, leader election, ISR change,
+	// broker registration). Data-plane caches key their entries by it:
+	// comparing two atomic loads replaces a registry read plus JSON
+	// decode on every produce/fetch.
+	epoch atomic.Int64
 }
+
+// Epoch returns the current metadata epoch. It increases monotonically;
+// any change that could affect routing (leaders, ISRs, partition counts)
+// bumps it, so a cache entry tagged with an older epoch must be rebuilt.
+func (c *Controller) Epoch() int64 { return c.epoch.Load() }
+
+// bumpEpoch invalidates all epoch-tagged metadata caches.
+func (c *Controller) bumpEpoch() { c.epoch.Add(1) }
 
 // NewController creates a controller over the registry.
 func NewController(reg *zk.Registry, clock vclock.Clock) *Controller {
@@ -47,6 +62,7 @@ func (c *Controller) RegisterBroker(info BrokerInfo) (int64, error) {
 	if err := c.reg.CreateEphemeral(brokerPath(info.ID), data, sess); err != nil {
 		return 0, fmt.Errorf("cluster: register broker %d: %w", info.ID, err)
 	}
+	c.bumpEpoch()
 	return sess, nil
 }
 
@@ -112,6 +128,7 @@ func (c *Controller) CreateTopic(name, owner string, cfg TopicConfig) (*TopicMet
 	if err := c.reg.Create(topicPath(name), meta.marshal()); err != nil {
 		return nil, err
 	}
+	c.bumpEpoch()
 	return meta, nil
 }
 
@@ -153,6 +170,7 @@ func (c *Controller) DeleteTopic(name string) error {
 	if err := c.reg.Delete(topicPath(name)); err != nil {
 		return fmt.Errorf("%w: %s", ErrNoTopic, name)
 	}
+	c.bumpEpoch()
 	return nil
 }
 
@@ -186,6 +204,7 @@ func (c *Controller) SetPartitions(name string, n int) (*TopicMeta, error) {
 	if _, err := c.reg.Set(topicPath(name), meta.marshal()); err != nil {
 		return nil, err
 	}
+	c.bumpEpoch()
 	return meta, nil
 }
 
@@ -205,6 +224,7 @@ func (c *Controller) SetConfig(name string, cfg TopicConfig) (*TopicMeta, error)
 	if _, err := c.reg.Set(topicPath(name), meta.marshal()); err != nil {
 		return nil, err
 	}
+	c.bumpEpoch()
 	return meta, nil
 }
 
@@ -262,6 +282,7 @@ func (c *Controller) HandleBrokerFailure(brokerID int) []PartitionMeta {
 			}
 		}
 	}
+	c.bumpEpoch()
 	return changed
 }
 
@@ -295,5 +316,6 @@ func (c *Controller) HandleBrokerRecovery(brokerID int) []PartitionMeta {
 			_, _ = c.reg.Set(topicPath(name), meta.marshal())
 		}
 	}
+	c.bumpEpoch()
 	return changed
 }

@@ -106,11 +106,23 @@ func New(key string, v any) Event {
 //
 // Topic/partition/offset are contextual and carried by the container.
 func (e *Event) Marshal() []byte {
+	return e.AppendMarshal(make([]byte, 0, e.MarshaledSize()))
+}
+
+// MarshaledSize returns the exact encoded size of the event, letting
+// batch encoders size one buffer for a whole batch up front.
+func (e *Event) MarshaledSize() int {
 	n := 4 + len(e.Key) + 4 + len(e.Value) + 8 + 4
 	for k, v := range e.Headers {
 		n += 8 + len(k) + len(v)
 	}
-	buf := make([]byte, 0, n)
+	return n
+}
+
+// AppendMarshal appends the binary encoding to buf and returns the
+// extended slice, so batch encoders reuse one growing buffer instead of
+// allocating per event.
+func (e *Event) AppendMarshal(buf []byte) []byte {
 	buf = appendBytes(buf, e.Key)
 	buf = appendBytes(buf, e.Value)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp.UnixNano()))
@@ -127,15 +139,24 @@ var ErrTruncated = errors.New("event: truncated record")
 
 // Unmarshal decodes an event encoded by Marshal. It returns the number of
 // bytes consumed so that records can be decoded from a concatenated batch.
+// Key and Value are copied out of b, so the caller may reuse the buffer.
 func Unmarshal(b []byte) (Event, int, error) {
+	return unmarshal(b, true)
+}
+
+func unmarshal(b []byte, copyBytes bool) (Event, int, error) {
+	read := readBytesZC
+	if copyBytes {
+		read = readBytes
+	}
 	var e Event
 	pos := 0
-	key, n, err := readBytes(b[pos:])
+	key, n, err := read(b[pos:])
 	if err != nil {
 		return e, 0, err
 	}
 	pos += n
-	val, n, err := readBytes(b[pos:])
+	val, n, err := read(b[pos:])
 	if err != nil {
 		return e, 0, err
 	}
@@ -151,12 +172,14 @@ func Unmarshal(b []byte) (Event, int, error) {
 	if hc > 0 {
 		headers = make(map[string]string, hc)
 		for i := 0; i < hc; i++ {
-			k, n, err := readBytes(b[pos:])
+			// Header bytes become strings (their own copies) either way,
+			// so the zero-copy reader is always safe here.
+			k, n, err := readBytesZC(b[pos:])
 			if err != nil {
 				return e, 0, err
 			}
 			pos += n
-			v, n, err := readBytes(b[pos:])
+			v, n, err := readBytesZC(b[pos:])
 			if err != nil {
 				return e, 0, err
 			}
@@ -188,4 +211,59 @@ func readBytes(b []byte) ([]byte, int, error) {
 		return nil, 4, nil
 	}
 	return append([]byte(nil), b[4:4+n]...), 4 + n, nil
+}
+
+// readBytesZC is readBytes without the defensive copy: the returned slice
+// aliases b. Used by the batch decode path, where the caller owns the
+// buffer for the lifetime of the decoded events.
+func readBytesZC(b []byte) ([]byte, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, 0, ErrTruncated
+	}
+	if n == 0 {
+		return nil, 4, nil
+	}
+	return b[4 : 4+n : 4+n], 4 + n, nil
+}
+
+// AppendBatchMarshal encodes evs back-to-back into one buffer sized
+// exactly once — the wire payload form.
+func AppendBatchMarshal(buf []byte, evs []Event) []byte {
+	total := 0
+	for i := range evs {
+		total += evs[i].MarshaledSize()
+	}
+	if cap(buf)-len(buf) < total {
+		grown := make([]byte, len(buf), len(buf)+total)
+		copy(grown, buf)
+		buf = grown
+	}
+	for i := range evs {
+		buf = evs[i].AppendMarshal(buf)
+	}
+	return buf
+}
+
+// UnmarshalBatch decodes n concatenated records from b into one slice.
+// The decoded Key/Value fields alias b — b is the batch arena — so the
+// caller must not modify b afterwards. It returns the events and the
+// total bytes consumed. This is the fetch-side mirror of the broker's
+// produce arena: one events slice and zero per-field copies regardless
+// of batch size.
+func UnmarshalBatch(b []byte, n int) ([]Event, int, error) {
+	out := make([]Event, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		ev, sz, err := unmarshal(b[pos:], false)
+		if err != nil {
+			return nil, 0, fmt.Errorf("event: record %d of %d: %w", i, n, err)
+		}
+		pos += sz
+		out = append(out, ev)
+	}
+	return out, pos, nil
 }

@@ -64,10 +64,16 @@ func (c *Config) fill() {
 
 type record struct {
 	offset int64
-	ev     event.Event
+	// size caches ev.Size() at append time so fetch-side byte budgeting,
+	// retention and compaction never re-walk key/value/header lengths.
+	size int
+	ev   event.Event
 }
 
-// segment is a contiguous run of records starting at baseOffset.
+// segment is a run of records covering the offset range
+// [baseOffset, nextOffset()). Compaction may remove records from sealed
+// segments, so the range is fixed at seal time rather than derived from
+// the record count.
 type segment struct {
 	baseOffset int64
 	records    []record
@@ -75,9 +81,21 @@ type segment struct {
 	created    time.Time
 	lastAppend time.Time
 	sealed     bool
+	// end is the offset one past the segment's last assigned record,
+	// frozen when the segment seals. Deriving it from len(records) would
+	// undercount once compaction punches holes, making surviving records
+	// unreachable from mid-segment read offsets.
+	end int64
 }
 
-func (s *segment) nextOffset() int64 { return s.baseOffset + int64(len(s.records)) }
+func (s *segment) nextOffset() int64 {
+	if s.sealed {
+		return s.end
+	}
+	// The active segment is dense from baseOffset: compaction only
+	// touches sealed segments.
+	return s.baseOffset + int64(len(s.records))
+}
 
 // Log is a single partition's commit log. All methods are safe for
 // concurrent use.
@@ -101,6 +119,29 @@ func New(cfg Config) *Log {
 	return l
 }
 
+// appendLocked stores one event on the active segment, rolling first if
+// the active segment is full. Callers hold l.mu.
+func (l *Log) appendLocked(ev event.Event, now time.Time) {
+	active := l.segments[len(l.segments)-1]
+	if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
+		active.end = l.next
+		active.sealed = true
+		active = &segment{baseOffset: l.next, created: now}
+		l.segments = append(l.segments, active)
+	}
+	if len(active.records) == 0 {
+		active.created = now
+	}
+	ev.Offset = l.next
+	ev.Timestamp = now
+	sz := ev.Size()
+	active.records = append(active.records, record{offset: l.next, size: sz, ev: ev})
+	active.bytes += sz
+	active.lastAppend = now
+	l.bytes += int64(sz)
+	l.next++
+}
+
 // Append assigns the next offset and stores the event, stamping it with
 // now. It returns the assigned offset.
 func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
@@ -109,24 +150,8 @@ func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
-	active := l.segments[len(l.segments)-1]
-	if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
-		active.sealed = true
-		active = &segment{baseOffset: l.next, created: now}
-		l.segments = append(l.segments, active)
-	}
-	if len(active.records) == 0 {
-		active.created = now
-	}
 	off := l.next
-	ev.Offset = off
-	ev.Timestamp = now
-	active.records = append(active.records, record{offset: off, ev: ev})
-	sz := ev.Size()
-	active.bytes += sz
-	active.lastAppend = now
-	l.bytes += int64(sz)
-	l.next++
+	l.appendLocked(ev, now)
 	return off, nil
 }
 
@@ -139,31 +164,56 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 		return 0, ErrClosed
 	}
 	first := l.next
-	for _, ev := range evs {
-		active := l.segments[len(l.segments)-1]
-		if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
-			active.sealed = true
-			active = &segment{baseOffset: l.next, created: now}
-			l.segments = append(l.segments, active)
-		}
-		if len(active.records) == 0 {
-			active.created = now
-		}
-		ev.Offset = l.next
-		ev.Timestamp = now
-		active.records = append(active.records, record{offset: l.next, ev: ev})
-		sz := ev.Size()
-		active.bytes += sz
-		active.lastAppend = now
-		l.bytes += int64(sz)
-		l.next++
+	for i := range evs {
+		l.appendLocked(evs[i], now)
 	}
 	return first, nil
+}
+
+// findSegment returns the index of the first segment that may contain
+// records at or above offset: the last segment with baseOffset <= offset,
+// stepping forward if that segment ends below offset. Segments are sorted
+// by baseOffset and cover contiguous offset ranges, so this is a binary
+// search rather than the linear scan a long-lived partition cannot afford.
+func (l *Log) findSegment(offset int64) int {
+	lo, hi := 0, len(l.segments)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.segments[mid].baseOffset <= offset {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first segment with baseOffset > offset; the candidate is
+	// the one before it.
+	if lo > 0 {
+		lo--
+	}
+	for lo < len(l.segments) && l.segments[lo].nextOffset() <= offset {
+		lo++
+	}
+	return lo
 }
 
 // Read returns up to max events starting at offset. A read exactly at the
 // log end returns an empty slice and no error (the caller polls or waits).
 func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
+	if max <= 0 {
+		max = 0
+	}
+	return l.ReadBudget(offset, max, 0)
+}
+
+// ReadBudget returns events starting at offset, bounded by both an event
+// count (max < 0 means unbounded; max == 0 returns no events) and a
+// payload byte budget (maxBytes <= 0 means unbounded). The byte budget is soft on the first event only:
+// at least one event is returned when any is available, and no event
+// beyond the first may push the cumulative size to or past maxBytes —
+// the semantics Fabric.Fetch and Log.ReadBytes share. Events stream out
+// of the segment index directly; nothing beyond the returned slice is
+// materialized.
+func (l *Log) ReadBudget(offset int64, max, maxBytes int) ([]event.Event, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.closed {
@@ -172,14 +222,20 @@ func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
 	if offset < l.start || offset > l.next {
 		return nil, fmt.Errorf("%w: offset %d not in [%d,%d]", ErrOffsetOutOfRange, offset, l.start, l.next)
 	}
-	if offset == l.next || max <= 0 {
+	if offset == l.next || max == 0 {
 		return nil, nil
 	}
-	out := make([]event.Event, 0, min(max, 64))
-	for _, seg := range l.segments {
-		if seg.nextOffset() <= offset {
-			continue
-		}
+	if max < 0 {
+		max = 1 << 30
+	}
+	hint := max
+	if hint > 64 {
+		hint = 64
+	}
+	out := make([]event.Event, 0, hint)
+	total := 0
+	for si := l.findSegment(offset); si < len(l.segments); si++ {
+		seg := l.segments[si]
 		idx := 0
 		if offset > seg.baseOffset {
 			// Records within a segment may start above baseOffset after
@@ -187,8 +243,15 @@ func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
 			idx = searchRecords(seg.records, offset)
 		}
 		for ; idx < len(seg.records); idx++ {
-			out = append(out, seg.records[idx].ev)
-			if len(out) >= max {
+			r := &seg.records[idx]
+			if maxBytes > 0 {
+				if total+r.size >= maxBytes && len(out) > 0 {
+					return out, nil
+				}
+				total += r.size
+			}
+			out = append(out, r.ev)
+			if len(out) >= max || (maxBytes > 0 && total >= maxBytes) {
 				return out, nil
 			}
 		}
@@ -199,37 +262,60 @@ func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
 // ReadBytes returns events starting at offset until maxBytes of payload
 // have been accumulated (at least one event is returned if available).
 func (l *Log) ReadBytes(offset int64, maxBytes int) ([]event.Event, error) {
-	evs, err := l.Read(offset, 1<<30)
-	if err != nil {
-		return nil, err
-	}
-	total := 0
-	for i, ev := range evs {
-		total += ev.Size()
-		if total >= maxBytes && i > 0 {
-			return evs[:i], nil
-		}
-		if total >= maxBytes {
-			return evs[:i+1], nil
-		}
-	}
-	return evs, nil
+	return l.ReadBudget(offset, -1, maxBytes)
 }
 
 // OffsetForTime returns the first offset whose record timestamp is at or
 // after t — the "consume after a certain timestamp" interface of §IV-F.
-// If every record is older than t, the end offset is returned.
+// If every record is older than t, the end offset is returned. Append
+// timestamps are non-decreasing, so the lookup is a two-level binary
+// search: first across segments (by each segment's last record), then
+// within the segment's records.
 func (l *Log) OffsetForTime(t time.Time) int64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	for _, seg := range l.segments {
-		for _, r := range seg.records {
-			if !r.ev.Timestamp.Before(t) {
-				return r.offset
-			}
+	// Find the first non-empty segment whose last record is at or after
+	// t. Empty segments (a freshly rolled active segment, or a sealed
+	// segment compaction emptied entirely) carry no ordering information
+	// and would break the predicate's monotonicity, so the probe steps
+	// past them and the found candidate is tracked explicitly.
+	best := len(l.segments)
+	lo, hi := 0, len(l.segments)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		j := mid
+		for j < hi && len(l.segments[j].records) == 0 {
+			j++
+		}
+		if j == hi {
+			// [mid, hi) holds no records; the answer, if any, is earlier.
+			hi = mid
+			continue
+		}
+		rs := l.segments[j].records
+		if rs[len(rs)-1].ev.Timestamp.Before(t) {
+			lo = j + 1
+		} else {
+			// Segment j qualifies; keep looking for an earlier one in
+			// [lo, mid) — everything in [mid, j) is empty.
+			best = j
+			hi = mid
 		}
 	}
-	return l.next
+	if best == len(l.segments) {
+		return l.next
+	}
+	rs := l.segments[best].records
+	rlo, rhi := 0, len(rs)
+	for rlo < rhi {
+		mid := (rlo + rhi) / 2
+		if rs[mid].ev.Timestamp.Before(t) {
+			rlo = mid + 1
+		} else {
+			rhi = mid
+		}
+	}
+	return rs[rlo].offset
 }
 
 // StartOffset returns the earliest retained offset.
@@ -313,8 +399,8 @@ func (l *Log) Compact() int {
 		for _, r := range seg.records {
 			if r.ev.Key != nil && latest[string(r.ev.Key)] != r.offset {
 				removed++
-				l.bytes -= int64(r.ev.Size())
-				seg.bytes -= r.ev.Size()
+				l.bytes -= int64(r.size)
+				seg.bytes -= r.size
 				continue
 			}
 			kept = append(kept, r)

@@ -154,26 +154,19 @@ func ReadFrame(r io.Reader, header any) (payload []byte, err error) {
 	return payload, nil
 }
 
-// EncodeEvents concatenates marshaled events into one payload.
+// EncodeEvents concatenates marshaled events into one payload, sized
+// exactly with a single allocation.
 func EncodeEvents(evs []event.Event) []byte {
-	var buf []byte
-	for i := range evs {
-		buf = append(buf, evs[i].Marshal()...)
-	}
-	return buf
+	return event.AppendBatchMarshal(nil, evs)
 }
 
-// DecodeEvents splits a payload into n events.
+// DecodeEvents splits a payload into n events. The payload buffer becomes
+// the batch's arena: decoded keys and values alias it, so callers hand
+// over ownership (ReadFrame allocates a fresh buffer per frame).
 func DecodeEvents(payload []byte, n int) ([]event.Event, error) {
-	out := make([]event.Event, 0, n)
-	pos := 0
-	for i := 0; i < n; i++ {
-		ev, sz, err := event.Unmarshal(payload[pos:])
-		if err != nil {
-			return nil, fmt.Errorf("wire: event %d of %d: %w", i, n, err)
-		}
-		pos += sz
-		out = append(out, ev)
+	out, pos, err := event.UnmarshalBatch(payload, n)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
 	}
 	if pos != len(payload) {
 		return nil, fmt.Errorf("wire: %d trailing bytes after %d events", len(payload)-pos, n)

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/event"
+)
+
+// Allocation-regression benchmarks for the zero-allocation hot paths.
+// They fail (not just report) when the steady-state allocation budget is
+// exceeded, so the CI bench smoke doubles as a regression gate:
+//
+//	go test -bench 'Allocs' -benchmem -run '^$' .
+//
+// Budget: ≤2 allocs per produce of a 64-event batch (the batch arena plus
+// amortized log growth) and ≤2 per fetch (the result slice plus amortized
+// growth). The seed spent ~98 allocs on the same produce call.
+const allocBudget = 2.0
+
+// BenchmarkProduceAllocs measures steady-state allocations of a 64-event
+// produce on a warmed fabric: routing cached, scratch pooled, one arena
+// per batch.
+func BenchmarkProduceAllocs(b *testing.B) {
+	f := newBenchFabric(b, 2, 2)
+	batch := oneKBBatch(64)
+	if _, err := f.Produce("", "bench", -1, batch, broker.AcksLeader); err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := f.Produce("", "bench", -1, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(allocs, "allocs/produce")
+	if allocs > allocBudget {
+		b.Fatalf("produce of a 64-event batch allocates %.1f times, budget %.0f", allocs, allocBudget)
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Produce("", "bench", -1, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchAllocs measures steady-state allocations of a 64-event
+// fetch with a byte budget on a warmed fabric: cached routing plus the
+// indexed, streaming log read.
+func BenchmarkFetchAllocs(b *testing.B) {
+	f := newBenchFabric(b, 2, 2)
+	batch := oneKBBatch(64)
+	for i := 0; i < 8; i++ {
+		if _, err := f.Produce("", "bench", 0, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fetch := func() {
+		res, err := f.Fetch("", "bench", 0, 0, 64, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Events) != 64 {
+			b.Fatalf("fetched %d events", len(res.Events))
+		}
+	}
+	fetch()
+	allocs := testing.AllocsPerRun(100, fetch)
+	b.ReportMetric(allocs, "allocs/fetch")
+	if allocs > allocBudget {
+		b.Fatalf("fetch of a 64-event batch allocates %.1f times, budget %.0f", allocs, allocBudget)
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fetch()
+	}
+}
+
+// BenchmarkUnmarshalBatchAllocs pins the fetch-side wire decode: one
+// events slice per batch, zero per-field copies.
+func BenchmarkUnmarshalBatchAllocs(b *testing.B) {
+	evs := oneKBBatch(64)
+	payload := event.AppendBatchMarshal(nil, evs)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := event.UnmarshalBatch(payload, 64); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(allocs, "allocs/decode")
+	if allocs > allocBudget {
+		b.Fatalf("batch decode allocates %.1f times, budget %.0f", allocs, allocBudget)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := event.UnmarshalBatch(payload, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -243,6 +243,20 @@ func partitionFor(ev *event.Event, parts int) int {
 // of the first appended event on the (single) chosen partition when all
 // events map to one partition, else the offset of the last append.
 func (f *Fabric) Produce(identity, topic string, partition int, evs []event.Event, acks Acks) (int64, error) {
+	return f.produce(identity, topic, partition, evs, acks, false)
+}
+
+// ProduceDonated is Produce for callers that donate ownership of the
+// events' underlying buffers to the fabric: the Key/Value bytes are
+// stored as-is (no arena clone), so the caller must never modify or
+// reuse them afterwards — they live as long as the retained log records.
+// The wire server uses it to hand a decoded produce frame straight to
+// the log, deleting the second copy the seed made per remote produce.
+func (f *Fabric) ProduceDonated(identity, topic string, partition int, evs []event.Event, acks Acks) (int64, error) {
+	return f.produce(identity, topic, partition, evs, acks, true)
+}
+
+func (f *Fabric) produce(identity, topic string, partition int, evs []event.Event, acks Acks, donated bool) (int64, error) {
 	if len(evs) == 0 {
 		return 0, nil
 	}
@@ -266,7 +280,8 @@ func (f *Fabric) Produce(identity, topic string, partition int, evs []event.Even
 	// Route each event, then deep-copy the whole batch through one
 	// contiguous arena into pooled per-partition buckets: the seed's
 	// per-call partition map and per-event Clone were the produce path's
-	// dominant allocations.
+	// dominant allocations. Donated batches skip the copy entirely —
+	// their bytes already belong to the fabric.
 	sc := scratchPool.Get().(*produceScratch)
 	sc.prepare(len(evs), parts)
 	for i := range evs {
@@ -277,7 +292,11 @@ func (f *Fabric) Produce(identity, topic string, partition int, evs []event.Even
 		}
 		sc.pidx[i] = p
 	}
-	arenaClone(evs, sc.pidx, rt.meta.Name, sc)
+	if donated {
+		bucketDonated(evs, sc.pidx, rt.meta.Name, sc)
+	} else {
+		arenaClone(evs, sc.pidx, rt.meta.Name, sc)
+	}
 	var base int64 = -1
 	for _, p := range sc.order {
 		off, err := f.producePartition(rt, p, sc.buckets[p], acks)
@@ -335,12 +354,41 @@ type FetchResult struct {
 	StartOffset int64
 }
 
+// FetchBuffer is a reusable consume-side receive buffer: a byte arena
+// that wire transports read response payloads into, and an event slice
+// that fetches decode into. A fetch session owns one per partition and
+// hands it back on every poll, so the steady-state consume path stops
+// allocating once the buffer has grown to the workload's batch size.
+// Contents are valid only until the buffer's next use.
+type FetchBuffer struct {
+	// Arena receives the raw response payload (wire transports only);
+	// decoded events alias it.
+	Arena []byte
+	// Events is the reused result slice.
+	Events []event.Event
+}
+
 // Fetch reads up to maxEvents events (and at most maxBytes payload bytes,
 // if > 0) from the partition starting at offset. identity is checked for
 // READ permission unless empty. The byte budget follows Log.ReadBytes
 // semantics: at least one event is returned when any is available, and
 // only the first event may exceed the budget.
 func (f *Fabric) Fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int) (FetchResult, error) {
+	return f.fetch(identity, topic, partition, offset, maxEvents, maxBytes, nil)
+}
+
+// FetchInto is Fetch appending into dst (reusing its capacity) — the
+// in-process half of the consumer's zero-copy fetch session. Callers
+// pass dst with len 0; the returned FetchResult.Events is the grown
+// slice, whose events alias the partition log's records.
+func (f *Fabric) FetchInto(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, dst []event.Event) (FetchResult, error) {
+	if dst == nil {
+		dst = []event.Event{}
+	}
+	return f.fetch(identity, topic, partition, offset, maxEvents, maxBytes, dst)
+}
+
+func (f *Fabric) fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, dst []event.Event) (FetchResult, error) {
 	if identity != "" {
 		if err := f.ACL.Check(topic, identity, auth.PermRead); err != nil {
 			return FetchResult{}, err
@@ -353,7 +401,7 @@ func (f *Fabric) Fetch(identity, topic string, partition int, offset int64, maxE
 	if maxEvents <= 0 {
 		maxEvents = 1 << 20
 	}
-	evs, err := pr.log.ReadBudget(offset, maxEvents, maxBytes)
+	evs, err := pr.log.ReadBudgetInto(offset, maxEvents, maxBytes, dst)
 	if err != nil {
 		return FetchResult{}, err
 	}

@@ -202,6 +202,24 @@ func fnv1a(b []byte) uint32 {
 // per event. Headers, when present, still clone per event — the
 // steady-state fabric workloads are header-free. Returned events carry
 // topic/partition from their bucket assignment.
+// bucketDonated is arenaClone for donated batches: the caller has handed
+// over ownership of the events' buffers (a decoded wire frame, typically),
+// so events are bucketed and stamped with their routing without copying a
+// byte. Headers decoded from the wire already own their strings, so they
+// are kept as-is too.
+func bucketDonated(src []event.Event, pidx []int, topic string, scratch *produceScratch) {
+	for i := range src {
+		ev := src[i]
+		p := pidx[i]
+		ev.Topic = topic
+		ev.Partition = p
+		if len(scratch.buckets[p]) == 0 {
+			scratch.order = append(scratch.order, p)
+		}
+		scratch.buckets[p] = append(scratch.buckets[p], ev)
+	}
+}
+
 func arenaClone(src []event.Event, pidx []int, topic string, scratch *produceScratch) {
 	total := 0
 	for i := range src {

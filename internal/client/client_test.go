@@ -407,6 +407,72 @@ func pollAll(t *testing.T, c *Consumer, want int) []event.Event {
 	return got
 }
 
+// TestPollSessionReuseDeliversCorrectStream drains a partition through
+// the zero-copy fetch session, checking every event inside its poll
+// window (the validity contract): offsets must be dense and values
+// intact even though the session reuses one buffer across polls.
+func TestPollSessionReuseDeliversCorrectStream(t *testing.T) {
+	for _, prefetch := range []bool{false, true} {
+		t.Run(fmt.Sprintf("prefetch=%v", prefetch), func(t *testing.T) {
+			_, tr := newTransport(t, 1)
+			if _, err := tr.Produce("", "t", 0, mkEvents(100), broker.AcksLeader); err != nil {
+				t.Fatal(err)
+			}
+			c := NewConsumer(tr, ConsumerConfig{Start: StartEarliest, Prefetch: prefetch})
+			defer c.Close()
+			if err := c.Assign("t", 0); err != nil {
+				t.Fatal(err)
+			}
+			next := int64(0)
+			deadline := time.Now().Add(5 * time.Second)
+			for next < 100 && time.Now().Before(deadline) {
+				evs, err := c.Poll(7) // odd size so polls straddle batches
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range evs {
+					if ev.Offset != next {
+						t.Fatalf("offset %d, want %d", ev.Offset, next)
+					}
+					if want := fmt.Sprintf("e%d", next); string(ev.Value) != want {
+						t.Fatalf("value %q at offset %d, want %q", ev.Value, next, want)
+					}
+					next++
+				}
+			}
+			if next != 100 {
+				t.Fatalf("consumed %d events, want 100", next)
+			}
+		})
+	}
+}
+
+// TestSeekInvalidatesPrefetch seeks backwards between polls: the
+// in-flight prefetch (for the old position) must be discarded, not
+// served.
+func TestSeekInvalidatesPrefetch(t *testing.T) {
+	_, tr := newTransport(t, 1)
+	if _, err := tr.Produce("", "t", 0, mkEvents(50), broker.AcksLeader); err != nil {
+		t.Fatal(err)
+	}
+	c := NewConsumer(tr, ConsumerConfig{Start: StartEarliest, Prefetch: true})
+	defer c.Close()
+	if err := c.Assign("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Poll(10); err != nil { // leaves a prefetch at offset 10
+		t.Fatal(err)
+	}
+	c.Seek("t", 0, 3)
+	evs, err := c.Poll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 || evs[0].Offset != 3 {
+		t.Fatalf("poll after seek started at %d, want 3", evs[0].Offset)
+	}
+}
+
 func TestCommitWindowThrottlesAutoCommit(t *testing.T) {
 	f, tr := newTransport(t, 1)
 	if _, err := tr.Produce("", "t", 0, mkEvents(10), broker.AcksLeader); err != nil {

@@ -47,6 +47,13 @@ type ConsumerConfig struct {
 	// AutoCommit commits positions after each Poll when true
 	// (default behavior; §IV-F "consumers periodically commit").
 	AutoCommit bool
+	// Prefetch pipelines consumption: after each Poll, the consumer
+	// starts fetching the next batch for the polled partition in the
+	// background, so the network round trip overlaps with the
+	// application processing the current batch. Requires a
+	// BufferedFetcher transport (Direct and the wire client both are);
+	// ignored otherwise.
+	Prefetch bool
 	// CommitInterval throttles auto-commits: positions commit at most
 	// once per interval (§IV-F: "the commit window is adjustable").
 	// Zero commits on every poll.
@@ -85,18 +92,44 @@ func nextMemberID() string {
 // Consumer reads events from assigned partitions, tracking per-partition
 // positions, rejoining on rebalance, and committing offsets for
 // at-least-once delivery.
+//
+// When the transport is a BufferedFetcher, each assigned partition gets
+// a fetch session owning a reusable receive buffer (its arena growth is
+// bounded by ReceiveBufferBytes), so the steady-state consume path stops
+// allocating; see Poll for the resulting lifetime contract.
 type Consumer struct {
 	t   Transport
+	bf  BufferedFetcher // t's buffered-fetch extension, nil if absent
 	cfg ConsumerConfig
 
 	mu         sync.Mutex
 	topics     []string
 	assigned   []broker.TP
 	positions  map[broker.TP]int64
+	sessions   map[broker.TP]*fetchSession
+	pollBuf    []event.Event // reused Poll result slice
 	generation int
 	rr         int // round-robin cursor over assigned partitions
 	lastCommit time.Time
 	closed     bool
+}
+
+// fetchSession is one partition's consume state: a receive buffer the
+// transport decodes into on every poll, plus a second buffer an async
+// prefetch fills while the application processes the first.
+type fetchSession struct {
+	buf broker.FetchBuffer // active receive buffer
+	pre broker.FetchBuffer // prefetch target; swapped in when adopted
+	// pending, when non-nil, carries the in-flight prefetch started at
+	// preOff. Only the prefetch goroutine touches pre until its result
+	// has been received from pending.
+	pending chan prefetchResult
+	preOff  int64
+}
+
+type prefetchResult struct {
+	res broker.FetchResult
+	err error
 }
 
 // NewConsumer creates a consumer. With cfg.Group set, call Subscribe;
@@ -106,7 +139,12 @@ func NewConsumer(t Transport, cfg ConsumerConfig) *Consumer {
 	if cfg.Group != "" && cfg.MemberID == "" {
 		cfg.MemberID = nextMemberID()
 	}
-	return &Consumer{t: t, cfg: cfg, positions: make(map[broker.TP]int64)}
+	bf, _ := t.(BufferedFetcher)
+	return &Consumer{
+		t: t, bf: bf, cfg: cfg,
+		positions: make(map[broker.TP]int64),
+		sessions:  make(map[broker.TP]*fetchSession),
+	}
 }
 
 // Subscribe joins the configured group for the topics and adopts the
@@ -195,6 +233,12 @@ func (c *Consumer) Assignment() []broker.TP {
 // assigned partitions, advancing positions. It returns immediately with
 // whatever is available, possibly nothing. On a group rebalance the
 // consumer transparently rejoins and retries once.
+//
+// The returned slice — and, on a zero-copy transport (BufferedFetcher),
+// the events' Key/Value bytes — is reused by the next Poll on this
+// consumer. Process or copy events before polling again; do not retain
+// them across polls. Every in-tree consumer already follows this
+// (Kafka-style) pattern.
 func (c *Consumer) Poll(max int) ([]event.Event, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -222,12 +266,12 @@ func (c *Consumer) Poll(max int) ([]event.Event, error) {
 }
 
 func (c *Consumer) pollLocked(max int) ([]event.Event, error) {
-	var out []event.Event
+	out := c.pollBuf[:0]
 	n := len(c.assigned)
 	for i := 0; i < n && len(out) < max; i++ {
 		tp := c.assigned[(c.rr+i)%n]
 		pos := c.positions[tp]
-		res, err := c.t.Fetch(c.cfg.Identity, tp.Topic, tp.Partition, pos, max-len(out), c.cfg.ReceiveBufferBytes)
+		res, err := c.fetchPartition(tp, pos, max-len(out))
 		if err != nil {
 			if errors.Is(err, broker.ErrLeaderUnavailable) {
 				continue // partition failing over; try again next poll
@@ -236,26 +280,83 @@ func (c *Consumer) pollLocked(max int) ([]event.Event, error) {
 			if res2, serr := c.recoverOutOfRange(tp, err); serr == nil {
 				res = res2
 			} else {
+				c.pollBuf = out
 				return out, err
 			}
 		}
-		if out == nil {
-			// Common case: one partition satisfies the poll. Adopt the
-			// fetch result's slice (it is freshly built per fetch) rather
-			// than re-copying every event.
-			out = res.Events
-		} else {
-			out = append(out, res.Events...)
-		}
+		out = append(out, res.Events...)
 		if len(res.Events) > 0 {
 			last := res.Events[len(res.Events)-1]
 			c.positions[tp] = last.Offset + 1
+			c.maybePrefetch(tp)
 		}
 	}
 	if n > 0 {
 		c.rr = (c.rr + 1) % n
 	}
+	c.pollBuf = out
 	return out, nil
+}
+
+// fetchPartition fetches one partition at pos, through the zero-copy
+// session when the transport supports it — adopting an in-flight
+// prefetch's result when it matches the position.
+func (c *Consumer) fetchPartition(tp broker.TP, pos int64, max int) (broker.FetchResult, error) {
+	if c.bf == nil {
+		return c.t.Fetch(c.cfg.Identity, tp.Topic, tp.Partition, pos, max, c.cfg.ReceiveBufferBytes)
+	}
+	s := c.session(tp)
+	if s.pending != nil {
+		r := <-s.pending
+		s.pending = nil
+		if r.err == nil && s.preOff == pos {
+			// The prefetch landed exactly where this poll reads: swap its
+			// buffer in and serve it without touching the transport.
+			s.buf, s.pre = s.pre, s.buf
+			res := r.res
+			if len(res.Events) > max {
+				// The caller asked for fewer than were prefetched; the
+				// position advances only past what is returned, so the
+				// remainder is refetched next poll.
+				res.Events = res.Events[:max]
+			}
+			return res, nil
+		}
+		// Stale (seek, rebalance) or failed prefetch: fall through to a
+		// fresh fetch.
+	}
+	return c.bf.FetchBuffered(c.cfg.Identity, tp.Topic, tp.Partition, pos, max, c.cfg.ReceiveBufferBytes, &s.buf)
+}
+
+// maybePrefetch starts an async fetch of tp's next batch into the
+// session's spare buffer, overlapping the transport round trip with the
+// application's processing of the batch just returned.
+func (c *Consumer) maybePrefetch(tp broker.TP) {
+	if !c.cfg.Prefetch || c.bf == nil {
+		return
+	}
+	s := c.session(tp)
+	if s.pending != nil {
+		return
+	}
+	pos := c.positions[tp]
+	ch := make(chan prefetchResult, 1)
+	s.pending = ch
+	s.preOff = pos
+	pre := &s.pre
+	go func() {
+		res, err := c.bf.FetchBuffered(c.cfg.Identity, tp.Topic, tp.Partition, pos, c.cfg.MaxPollEvents, c.cfg.ReceiveBufferBytes, pre)
+		ch <- prefetchResult{res: res, err: err}
+	}()
+}
+
+func (c *Consumer) session(tp broker.TP) *fetchSession {
+	s, ok := c.sessions[tp]
+	if !ok {
+		s = &fetchSession{}
+		c.sessions[tp] = s
+	}
+	return s
 }
 
 func (c *Consumer) recoverOutOfRange(tp broker.TP, err error) (broker.FetchResult, error) {

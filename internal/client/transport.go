@@ -41,6 +41,16 @@ type Transport interface {
 	Committed(groupID, topic string, partition int) int64
 }
 
+// BufferedFetcher is an optional Transport extension for zero-copy
+// consumption: FetchBuffered reads into (and decodes out of) the
+// caller-owned broker.FetchBuffer instead of allocating a payload and an
+// event slice per fetch. The consumer's per-partition fetch sessions use
+// it when the transport offers it; results are valid only until the
+// buffer's next use. Both Direct and the wire client implement it.
+type BufferedFetcher interface {
+	FetchBuffered(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error)
+}
+
 // Direct is the in-process Transport over a fabric.
 type Direct struct{ Fabric *broker.Fabric }
 
@@ -55,6 +65,19 @@ func (d *Direct) Produce(identity, topic string, partition int, evs []event.Even
 // Fetch implements Transport.
 func (d *Direct) Fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int) (broker.FetchResult, error) {
 	return d.Fabric.Fetch(identity, topic, partition, offset, maxEvents, maxBytes)
+}
+
+// FetchBuffered implements BufferedFetcher: events append into
+// buf.Events (reusing its capacity) and alias the partition log's
+// records directly — the in-process path has no payload to copy, so
+// buf.Arena is untouched.
+func (d *Direct) FetchBuffered(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	res, err := d.Fabric.FetchInto(identity, topic, partition, offset, maxEvents, maxBytes, buf.Events[:0])
+	if err != nil {
+		return res, err
+	}
+	buf.Events = res.Events
+	return res, nil
 }
 
 // EndOffset implements Transport.

@@ -255,7 +255,15 @@ func AppendBatchMarshal(buf []byte, evs []Event) []byte {
 // produce arena: one events slice and zero per-field copies regardless
 // of batch size.
 func UnmarshalBatch(b []byte, n int) ([]Event, int, error) {
-	out := make([]Event, 0, n)
+	return AppendUnmarshalBatch(make([]Event, 0, n), b, n)
+}
+
+// AppendUnmarshalBatch is UnmarshalBatch decoding into dst (appending,
+// reusing its capacity), so a steady-state consumer can poll with zero
+// slice allocations: the fetch session hands the same slice back every
+// poll. The aliasing contract is UnmarshalBatch's: decoded Key/Value
+// fields alias b for as long as the returned events are live.
+func AppendUnmarshalBatch(dst []Event, b []byte, n int) ([]Event, int, error) {
 	pos := 0
 	for i := 0; i < n; i++ {
 		ev, sz, err := unmarshal(b[pos:], false)
@@ -263,7 +271,7 @@ func UnmarshalBatch(b []byte, n int) ([]Event, int, error) {
 			return nil, 0, fmt.Errorf("event: record %d of %d: %w", i, n, err)
 		}
 		pos += sz
-		out = append(out, ev)
+		dst = append(dst, ev)
 	}
-	return out, pos, nil
+	return dst, pos, nil
 }

@@ -214,6 +214,15 @@ func (l *Log) Read(offset int64, max int) ([]event.Event, error) {
 // of the segment index directly; nothing beyond the returned slice is
 // materialized.
 func (l *Log) ReadBudget(offset int64, max, maxBytes int) ([]event.Event, error) {
+	return l.ReadBudgetInto(offset, max, maxBytes, nil)
+}
+
+// ReadBudgetInto is ReadBudget appending into dst (reusing its
+// capacity), so a steady-state consumer fetch allocates nothing once its
+// receive slice has grown: the fetch session hands the same slice back
+// on every poll. Returned events alias the log's records, as with
+// ReadBudget. A nil dst behaves exactly like ReadBudget.
+func (l *Log) ReadBudgetInto(offset int64, max, maxBytes int, dst []event.Event) ([]event.Event, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.closed {
@@ -223,16 +232,19 @@ func (l *Log) ReadBudget(offset int64, max, maxBytes int) ([]event.Event, error)
 		return nil, fmt.Errorf("%w: offset %d not in [%d,%d]", ErrOffsetOutOfRange, offset, l.start, l.next)
 	}
 	if offset == l.next || max == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	if max < 0 {
 		max = 1 << 30
 	}
-	hint := max
-	if hint > 64 {
-		hint = 64
+	out := dst
+	if out == nil {
+		hint := max
+		if hint > 64 {
+			hint = 64
+		}
+		out = make([]event.Event, 0, hint)
 	}
-	out := make([]event.Event, 0, hint)
 	total := 0
 	for si := l.findSegment(offset); si < len(l.segments); si++ {
 		seg := l.segments[si]

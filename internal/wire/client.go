@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -13,24 +14,80 @@ import (
 	"repro/internal/event"
 )
 
+// ErrConnClosed reports a request that failed because Close was called.
+// Close completes every pending correlation entry with it, so callers
+// blocked on in-flight requests return promptly instead of hanging on a
+// connection that will never deliver. It is distinct from transport
+// errors: the client never reconnects after an explicit Close.
+var ErrConnClosed = errors.New("wire: client closed")
+
 // Client is a client.Transport over the wire protocol: SDK producers
 // and consumers built on it run against a remote fabric unchanged.
-// Requests on one client are serialized (one in flight); open multiple
-// clients for parallelism, as the benchmarking operator does.
+//
+// The transport is pipelined: each request carries a correlation ID, a
+// writer goroutine streams frames onto the connection (coalescing queued
+// frames into one write), and a reader goroutine dispatches responses to
+// their waiting callers by correlation ID. Many requests from many
+// goroutines are therefore in flight on one connection at once; the
+// serial round trip of the seed client is just the single-caller case.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
 	addr string
-	// key/secret are replayed on reconnect.
+	// keyID/secret are replayed on reconnect.
 	keyID  string
 	secret string
 	anon   bool
+
+	mu     sync.Mutex
+	wc     *wireConn
+	closed bool
+}
+
+// call is one in-flight request: a correlation entry plus the caller's
+// completion channel.
+type call struct {
+	req     *Request
+	payload []byte
+	// arena, when non-nil, is the caller's receive buffer: the reader
+	// goroutine reads the response payload into it (growing as needed),
+	// which is what makes the consumer's fetch session reuse work over
+	// the wire.
+	arena []byte
+	resp  Response
+	data  []byte
+	err   error
+	done  chan struct{}
+}
+
+// wireConn is one TCP connection with its pipelining state. A failed
+// wireConn is never revived; reconnection replaces it wholesale, and
+// every pending or queued call on the failed connection is completed
+// with the connection's error (the fan-out the SDK retry loop needs).
+type wireConn struct {
+	conn net.Conn
+	// rd buffers reads: pipelined responses arrive many frames per TCP
+	// segment, and the frame format needs several small reads per frame.
+	// Only the reader goroutine touches it.
+	rd *bufio.Reader
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on queue push and on failure
+	// queue holds calls accepted but not yet written; the writer drains
+	// it in FIFO order. Unbounded: depth is naturally limited by the
+	// number of callers blocked awaiting responses.
+	queue []*call
+	// pending holds written calls awaiting responses, by correlation ID.
+	// A call is registered here by the writer immediately before its
+	// frame hits the connection, so entries always refer to requests the
+	// server may answer.
+	pending  map[uint64]*call
+	nextCorr uint64
+	err      error // sticky: first failure wins
 }
 
 // Dial connects and authenticates with an access key/secret.
 func Dial(addr, accessKeyID, secret string) (*Client, error) {
 	c := &Client{addr: addr, keyID: accessKeyID, secret: secret}
-	if err := c.connect(); err != nil {
+	if err := c.dial(); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -40,43 +97,301 @@ func Dial(addr, accessKeyID, secret string) (*Client, error) {
 // AllowAnonymous only).
 func DialAnonymous(addr string) (*Client, error) {
 	c := &Client{addr: addr, anon: true}
-	if err := c.connect(); err != nil {
+	if err := c.dial(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) connect() error {
+func (c *Client) dial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.connectLocked()
+	return err
+}
+
+// connectLocked dials, starts the writer/reader goroutines, and performs
+// the handshake. Callers hold c.mu.
+func (c *Client) connectLocked() (*wireConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, IOTimeout)
 	if err != nil {
-		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	c.conn = conn
+	wc := &wireConn{conn: conn, rd: bufio.NewReaderSize(conn, 64<<10), pending: make(map[uint64]*call)}
+	wc.cond = sync.NewCond(&wc.mu)
+	go wc.writeLoop()
+	go wc.readLoop()
 	handshake := &Request{Op: OpAuth, AccessKeyID: c.keyID, Secret: c.secret}
 	if c.anon {
 		// Probe with a ping so anonymous rejection surfaces at dial time.
 		handshake = &Request{Op: OpPing}
 	}
-	resp, _, err := c.roundTripLocked(handshake, nil)
+	cl, err := wc.do(handshake, nil, nil)
 	if err == nil {
-		err = wireError(resp)
+		err = wireError(&cl.resp)
 	}
 	if err != nil {
-		conn.Close()
-		c.conn = nil
-		return err
+		wc.fail(err)
+		return nil, err
+	}
+	c.wc = wc
+	return wc, nil
+}
+
+// conn returns the current connection, dialing if there is none.
+func (c *Client) conn() (*wireConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	if c.wc != nil {
+		return c.wc, nil
+	}
+	return c.connectLocked()
+}
+
+// reconnect replaces old with a fresh connection, unless another caller
+// already has.
+func (c *Client) reconnect(old *wireConn) (*wireConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	if c.wc != nil && c.wc != old {
+		return c.wc, nil
+	}
+	c.wc = nil
+	return c.connectLocked()
+}
+
+// Close shuts the connection, failing all pending requests with
+// ErrConnClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	wc := c.wc
+	c.wc = nil
+	c.mu.Unlock()
+	if wc != nil {
+		wc.fail(ErrConnClosed)
 	}
 	return nil
 }
 
-// Close shuts the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		return c.conn.Close()
+// do submits a request on the connection and blocks for its completion.
+func (wc *wireConn) do(req *Request, payload, arena []byte) (*call, error) {
+	cl := &call{req: req, payload: payload, arena: arena, done: make(chan struct{})}
+	wc.mu.Lock()
+	if wc.err != nil {
+		err := wc.err
+		wc.mu.Unlock()
+		return nil, err
 	}
-	return nil
+	wc.nextCorr++
+	req.Corr = wc.nextCorr
+	wc.queue = append(wc.queue, cl)
+	wc.cond.Signal()
+	wc.mu.Unlock()
+	<-cl.done
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	return cl, nil
+}
+
+// fail marks the connection broken and fans the error out to every
+// pending caller. Queued-but-unwritten calls are completed by the writer
+// on its way out (it is the only goroutine that touches their payloads).
+// Idempotent: the first error wins.
+func (wc *wireConn) fail(err error) {
+	wc.mu.Lock()
+	if wc.err != nil {
+		wc.mu.Unlock()
+		return
+	}
+	wc.err = err
+	pending := wc.pending
+	wc.pending = make(map[uint64]*call)
+	wc.cond.Broadcast()
+	wc.mu.Unlock()
+	wc.conn.Close()
+	for _, cl := range pending {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// writeLoop drains the queue, encoding every waiting frame into one
+// buffer and writing them with a single syscall — pipelined requests
+// coalesce on the wire. Each call is registered in pending just before
+// its bytes are written, so a response can never arrive for an
+// unregistered correlation ID.
+func (wc *wireConn) writeLoop() {
+	buf := make([]byte, 0, 4<<10)
+	var batch, written []*call
+	for {
+		wc.mu.Lock()
+		for len(wc.queue) == 0 && wc.err == nil {
+			wc.cond.Wait()
+		}
+		if wc.err != nil {
+			q := wc.queue
+			wc.queue = nil
+			err := wc.err
+			wc.mu.Unlock()
+			for _, cl := range q {
+				cl.err = err
+				close(cl.done)
+			}
+			return
+		}
+		batch = append(batch[:0], wc.queue...)
+		wc.queue = wc.queue[:0]
+		wc.mu.Unlock()
+
+		buf = buf[:0]
+		written = written[:0]
+		for _, cl := range batch {
+			n := len(buf)
+			grown, err := appendFrame(buf, cl.req, cl.payload)
+			if err != nil {
+				// Frame-level error (oversized, unmarshalable header):
+				// fail this call alone, the connection is fine.
+				buf = buf[:n]
+				cl.err = err
+				close(cl.done)
+				continue
+			}
+			buf = grown
+			written = append(written, cl)
+		}
+		if len(written) == 0 {
+			continue
+		}
+		wc.mu.Lock()
+		if wc.err != nil {
+			// The connection died between dequeue and write; nothing was
+			// sent for these calls, so complete them here.
+			err := wc.err
+			wc.mu.Unlock()
+			for _, cl := range written {
+				cl.err = err
+				close(cl.done)
+			}
+			return
+		}
+		for _, cl := range written {
+			wc.pending[cl.req.Corr] = cl
+		}
+		// A response must arrive within IOTimeout of the last write.
+		_ = wc.conn.SetWriteDeadline(time.Now().Add(IOTimeout))
+		_ = wc.conn.SetReadDeadline(time.Now().Add(IOTimeout))
+		wc.mu.Unlock()
+		if _, err := wc.conn.Write(buf); err != nil {
+			wc.fail(err)
+			// Loop back: the top of the loop drains remaining queued
+			// calls with the failure.
+		}
+		if cap(buf) > maxPooledFrame {
+			buf = make([]byte, 0, 4<<10)
+		}
+	}
+}
+
+// readLoop reads response frames and dispatches them to pending calls by
+// correlation ID, reading each payload directly into the matched
+// caller's receive buffer when one was provided.
+func (wc *wireConn) readLoop() {
+	for {
+		var resp Response
+		if err := ReadHeader(wc.rd, &resp); err != nil {
+			wc.fail(err)
+			return
+		}
+		wc.mu.Lock()
+		cl := wc.pending[resp.Corr]
+		delete(wc.pending, resp.Corr)
+		wc.mu.Unlock()
+		var arena []byte
+		if cl != nil {
+			arena = cl.arena
+		}
+		data, err := ReadPayloadInto(wc.rd, arena)
+		if err != nil {
+			// cl is already out of the pending map, so fail() cannot
+			// reach it — complete it here or its caller hangs.
+			if cl != nil {
+				cl.err = err
+				close(cl.done)
+			}
+			wc.fail(err)
+			return
+		}
+		wc.mu.Lock()
+		if len(wc.pending) == 0 {
+			// Idle: don't let the last exchange's deadline kill the
+			// connection while nothing is outstanding.
+			_ = wc.conn.SetReadDeadline(time.Time{})
+		} else if wc.rd.Buffered() == 0 {
+			// Deadline syscalls only when the next frame isn't already
+			// buffered — at full pipeline depth responses arrive many per
+			// read, and per-frame deadline churn costs real throughput.
+			_ = wc.conn.SetReadDeadline(time.Now().Add(IOTimeout))
+		}
+		wc.mu.Unlock()
+		if cl != nil {
+			cl.resp = resp
+			cl.data = data
+			if data != nil {
+				cl.arena = data
+			}
+			close(cl.done)
+		}
+	}
+}
+
+// do submits a request, waits for its response, and retries once over a
+// fresh connection on transport failure — the SDK's retry loop handles
+// persistent failure, exactly as with the serial client.
+func (c *Client) do(req *Request, payload, arena []byte) (*call, error) {
+	wc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	cl, derr := wc.do(req, payload, arena)
+	if derr == nil {
+		return cl, nil
+	}
+	if errors.Is(derr, ErrConnClosed) {
+		return nil, derr
+	}
+	wc.mu.Lock()
+	alive := wc.err == nil
+	wc.mu.Unlock()
+	if alive {
+		// Call-local failure (oversized frame, unmarshalable header):
+		// the connection is fine and a retry would fail identically.
+		return nil, derr
+	}
+	wc2, rerr := c.reconnect(wc)
+	if rerr != nil {
+		return nil, derr
+	}
+	return wc2.do(req, payload, arena)
+}
+
+func (c *Client) roundTrip(req *Request, payload []byte) (*Response, []byte, error) {
+	cl, err := c.do(req, payload, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &cl.resp, cl.data, nil
 }
 
 // wireError reconstructs sentinel errors from the error kind so that
@@ -101,42 +416,22 @@ func wireError(resp *Response) error {
 	}
 }
 
-func (c *Client) roundTrip(req *Request, payload []byte) (*Response, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	resp, data, err := c.roundTripLocked(req, payload)
-	if err != nil {
-		// One reconnect attempt per call: the SDK's retry loop handles
-		// persistent failure.
-		if cerr := c.connect(); cerr != nil {
-			return nil, nil, err
-		}
-		return c.roundTripLocked(req, payload)
-	}
-	return resp, data, nil
-}
-
-func (c *Client) roundTripLocked(req *Request, payload []byte) (*Response, []byte, error) {
-	if c.conn == nil {
-		return nil, nil, errors.New("wire: not connected")
-	}
-	_ = c.conn.SetDeadline(time.Now().Add(IOTimeout))
-	if err := WriteFrame(c.conn, req, payload); err != nil {
-		return nil, nil, err
-	}
-	var resp Response
-	data, err := ReadFrame(c.conn, &resp)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &resp, data, nil
-}
+// producePool recycles produce payload buffers: the payload is fully
+// encoded into the writer's frame buffer before the call completes, so
+// it can be reused as soon as the round trip returns.
+var producePool = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
 
 // Produce implements client.Transport. identity is established by the
 // connection's credentials; the parameter is ignored.
 func (c *Client) Produce(_ string, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
 	req := &Request{Op: OpProduce, Topic: topic, Partition: partition, Acks: int(acks), NumEvents: len(evs)}
-	resp, _, err := c.roundTrip(req, EncodeEvents(evs))
+	bp := producePool.Get().(*[]byte)
+	payload := event.AppendBatchMarshal((*bp)[:0], evs)
+	resp, _, err := c.roundTrip(req, payload)
+	if cap(payload) <= maxPooledFrame {
+		*bp = payload[:0]
+		producePool.Put(bp)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -160,14 +455,49 @@ func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxE
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
+	stampFetched(evs, topic, partition, resp.Offsets)
+	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
+}
+
+// FetchBuffered implements the SDK consumer's buffered-fetch extension
+// (client.BufferedFetcher): the response payload is read directly into
+// buf.Arena by the reader goroutine and decoded into buf.Events, so a
+// steady-state poll reuses one receive buffer instead of allocating a
+// frame and an event slice per fetch. Returned events alias buf.Arena
+// and are valid until the buffer's next use.
+func (c *Client) FetchBuffered(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	req := &Request{Op: OpFetch, Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
+	cl, err := c.do(req, nil, buf.Arena[:0])
+	if err != nil {
+		return broker.FetchResult{}, err
+	}
+	if cl.arena != nil {
+		buf.Arena = cl.arena
+	}
+	if err := wireError(&cl.resp); err != nil {
+		return broker.FetchResult{}, err
+	}
+	evs, pos, err := event.AppendUnmarshalBatch(buf.Events[:0], cl.data, cl.resp.NumEvents)
+	if err != nil {
+		return broker.FetchResult{}, fmt.Errorf("wire: %w", err)
+	}
+	if pos != len(cl.data) {
+		return broker.FetchResult{}, fmt.Errorf("wire: %d trailing bytes after %d events", len(cl.data)-pos, cl.resp.NumEvents)
+	}
+	buf.Events = evs
+	stampFetched(evs, topic, partition, cl.resp.Offsets)
+	return broker.FetchResult{Events: evs, HighWatermark: cl.resp.HighWatermark, StartOffset: cl.resp.StartOffset}, nil
+}
+
+// stampFetched fills the container-carried fields on decoded events.
+func stampFetched(evs []event.Event, topic string, partition int, offsets []int64) {
 	for i := range evs {
 		evs[i].Topic = topic
 		evs[i].Partition = partition
-		if i < len(resp.Offsets) {
-			evs[i].Offset = resp.Offsets[i]
+		if i < len(offsets) {
+			evs[i].Offset = offsets[i]
 		}
 	}
-	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
 }
 
 func (c *Client) offsetOp(op Op, topic string, partition int, tnano int64) (int64, error) {

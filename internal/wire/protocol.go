@@ -11,6 +11,11 @@
 //
 // The payload is a concatenation of event.Marshal records for produce
 // requests and fetch responses, empty otherwise.
+//
+// The transport is pipelined: request headers carry a correlation ID
+// that the server echoes on the matching response, so many requests
+// from one client share a connection and responses may be delivered in
+// any order (the server handles requests concurrently).
 package wire
 
 import (
@@ -19,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -55,6 +61,11 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 // Request is the JSON header of a client frame.
 type Request struct {
 	Op Op `json:"op"`
+	// Corr is the request's correlation ID. The client assigns a
+	// connection-unique value per request and the server echoes it on the
+	// matching response, which is what lets many requests be in flight on
+	// one connection with responses delivered in any order.
+	Corr uint64 `json:"corr,omitempty"`
 	// Auth fields (OpAuth).
 	AccessKeyID string `json:"access_key_id,omitempty"`
 	Secret      string `json:"secret,omitempty"`
@@ -84,6 +95,9 @@ type TPJSON struct {
 
 // Response is the JSON header of a server frame.
 type Response struct {
+	// Corr echoes the request's correlation ID.
+	Corr uint64 `json:"corr,omitempty"`
+
 	Err string `json:"err,omitempty"`
 	// ErrKind carries the sentinel class so clients can match with
 	// errors.Is across the wire ("leader_unavailable", "denied", ...).
@@ -102,41 +116,77 @@ type Response struct {
 	Offsets []int64 `json:"offsets,omitempty"`
 }
 
-// WriteFrame writes a header + payload frame.
-func WriteFrame(w io.Writer, header any, payload []byte) error {
+// appendFrame appends a header + payload frame to buf, letting writers
+// reuse one frame buffer across frames (and concatenate several frames
+// into a single write).
+func appendFrame(buf []byte, header any, payload []byte) ([]byte, error) {
 	hb, err := json.Marshal(header)
 	if err != nil {
-		return fmt.Errorf("wire: marshal header: %w", err)
+		return buf, fmt.Errorf("wire: marshal header: %w", err)
 	}
 	if len(hb) > MaxFrame || len(payload) > MaxFrame {
-		return ErrFrameTooLarge
+		return buf, ErrFrameTooLarge
 	}
-	buf := make([]byte, 0, 8+len(hb)+len(payload))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hb)))
 	buf = append(buf, hb...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
-	_, err = w.Write(buf)
+	return buf, nil
+}
+
+// framePool recycles frame-encode buffers across WriteFrame calls, so
+// the per-frame cost on the response path is the write itself, not a
+// fresh buffer. Oversized buffers are dropped rather than pinned.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
+
+// maxPooledFrame bounds the capacity of a buffer returned to framePool:
+// one giant fetch must not pin megabytes in the pool forever.
+const maxPooledFrame = 1 << 20
+
+// WriteFrame writes a header + payload frame.
+func WriteFrame(w io.Writer, header any, payload []byte) error {
+	bp := framePool.Get().(*[]byte)
+	buf, err := appendFrame((*bp)[:0], header, payload)
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	if cap(buf) <= maxPooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
+	}
 	return err
 }
 
-// ReadFrame reads one frame, decoding the JSON header into header.
-func ReadFrame(r io.Reader, header any) (payload []byte, err error) {
+// ReadHeader reads the header section of a frame, decoding the JSON
+// header into header. The payload section must then be consumed with
+// ReadPayloadInto before the next ReadHeader. The split lets the
+// pipelined client match the correlation ID first, then read the payload
+// directly into that request's receive buffer.
+func ReadHeader(r io.Reader, header any) error {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+		return err
 	}
 	hlen := binary.BigEndian.Uint32(lenBuf[:])
 	if hlen > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return ErrFrameTooLarge
 	}
 	hb := make([]byte, hlen)
 	if _, err := io.ReadFull(r, hb); err != nil {
-		return nil, err
+		return err
 	}
 	if err := json.Unmarshal(hb, header); err != nil {
-		return nil, fmt.Errorf("wire: bad header: %w", err)
+		return fmt.Errorf("wire: bad header: %w", err)
 	}
+	return nil
+}
+
+// ReadPayloadInto reads the payload section of a frame into buf when it
+// fits buf's capacity, growing it otherwise, and returns the filled
+// slice (nil for an empty payload). Passing nil buf always allocates
+// fresh, which is ReadFrame's behavior.
+func ReadPayloadInto(r io.Reader, buf []byte) ([]byte, error) {
+	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
@@ -147,11 +197,52 @@ func ReadFrame(r io.Reader, header any) (payload []byte, err error) {
 	if plen == 0 {
 		return nil, nil
 	}
-	payload = make([]byte, plen)
+	payload := buf
+	if cap(payload) < int(plen) {
+		payload = make([]byte, plen)
+	}
+	payload = payload[:plen]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// ReadFrame reads one frame, decoding the JSON header into header. The
+// payload is a freshly allocated buffer, which the caller owns (the
+// server relies on this: decoded produce frames are donated to the
+// fabric as the batch arena).
+func ReadFrame(r io.Reader, header any) (payload []byte, err error) {
+	if err := ReadHeader(r, header); err != nil {
+		return nil, err
+	}
+	return ReadPayloadInto(r, nil)
+}
+
+// appendFrameEvents appends a frame whose payload is the marshaled
+// event batch, encoded directly into buf — the fetch response path uses
+// it to skip the intermediate payload buffer (and its copy) entirely.
+// On error buf is returned unmodified.
+func appendFrameEvents(buf []byte, header any, evs []event.Event) ([]byte, error) {
+	orig := len(buf)
+	hb, err := json.Marshal(header)
+	if err != nil {
+		return buf, fmt.Errorf("wire: marshal header: %w", err)
+	}
+	if len(hb) > MaxFrame {
+		return buf, ErrFrameTooLarge
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hb)))
+	buf = append(buf, hb...)
+	lenAt := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0)
+	buf = event.AppendBatchMarshal(buf, evs)
+	plen := len(buf) - lenAt - 4
+	if plen > MaxFrame {
+		return buf[:orig], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[lenAt:], uint32(plen))
+	return buf, nil
 }
 
 // EncodeEvents concatenates marshaled events into one payload, sized
@@ -172,16 +263,6 @@ func DecodeEvents(payload []byte, n int) ([]event.Event, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes after %d events", len(payload)-pos, n)
 	}
 	return out, nil
-}
-
-// EncodeFetch encodes fetched events: offsets ride in the response
-// header; topic/partition are implied by the request.
-func EncodeFetch(evs []event.Event) (offsets []int64, payload []byte) {
-	offsets = make([]int64, len(evs))
-	for i := range evs {
-		offsets[i] = evs[i].Offset
-	}
-	return offsets, EncodeEvents(evs)
 }
 
 // Deadline for protocol I/O on a single frame exchange.

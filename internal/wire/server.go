@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"log"
@@ -10,11 +11,23 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/broker"
+	"repro/internal/event"
 )
+
+// maxConnConcurrency bounds in-flight requests per connection: deep
+// enough that a pipelined client never stalls on the server, bounded so
+// a misbehaving peer cannot spawn unbounded handler goroutines.
+const maxConnConcurrency = 64
 
 // Server exposes a fabric over TCP. Each connection authenticates once
 // with an IAM-style access key (OpAuth) and then issues data-plane
 // requests under that identity; ACLs are enforced by the fabric.
+//
+// Requests on one connection are handled concurrently (up to
+// maxConnConcurrency in flight): the read loop dispatches each frame to
+// a handler goroutine and responses are written, correlation-tagged, in
+// completion order — a slow fetch does not block the produces pipelined
+// behind it.
 type Server struct {
 	Fabric *broker.Fabric
 	// AllowAnonymous lets connections skip OpAuth and act as the
@@ -87,26 +100,139 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// respWriter coalesces response frames from a connection's concurrent
+// handlers: frames accumulate in a pending buffer under the lock and a
+// flusher goroutine writes whatever has piled up in one syscall. When
+// many requests are in flight, their responses leave as a handful of
+// packets — which also lets the client's reader drain them from one
+// netpoll wakeup instead of one per response.
+type respWriter struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte // encoded frames awaiting flush
+	err    error  // sticky write failure
+	closed bool
+	done   chan struct{} // closed when the flusher exits
+}
+
+func newRespWriter(conn net.Conn) *respWriter {
+	w := &respWriter{conn: conn, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flushLoop()
+	return w
+}
+
+// write enqueues one response frame whose payload is the marshaled
+// event batch (nil for payload-free responses), encoded directly into
+// the pending buffer — no intermediate payload buffer or second copy.
+func (w *respWriter) write(resp *Response, evs []event.Event) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	buf, err := appendFrameEvents(w.buf, resp, evs)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.buf = buf
+	w.cond.Signal()
+	w.mu.Unlock()
+	return nil
+}
+
+// close stops the flusher and waits for everything enqueued to reach
+// the connection, so tearing the connection down cannot drop responses
+// to requests that were already handled. The write deadline bounds the
+// wait when the peer has stopped reading.
+func (w *respWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	_ = w.conn.SetWriteDeadline(time.Now().Add(IOTimeout))
+	<-w.done
+}
+
+func (w *respWriter) flushLoop() {
+	defer close(w.done)
+	var out []byte
+	for {
+		w.mu.Lock()
+		for len(w.buf) == 0 && w.err == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.buf) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		out, w.buf = w.buf, out[:0]
+		w.mu.Unlock()
+		_, err := w.conn.Write(out)
+		if err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			// Wake the read loop so the connection tears down.
+			w.conn.Close()
+			return
+		}
+		if cap(out) > maxPooledFrame {
+			out = nil
+		}
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var handlers sync.WaitGroup
+	w := newRespWriter(conn)
 	defer func() {
+		handlers.Wait()
+		w.close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	sem := make(chan struct{}, maxConnConcurrency)
 	identity := ""
 	authed := s.AllowAnonymous
+	// Buffered reads: a pipelined client coalesces many frames per
+	// write, so the read loop should not pay three syscalls per frame.
+	// Payload buffers are still allocated fresh per frame (ReadFrame),
+	// which the produce donation path depends on.
+	rd := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		var req Request
-		payload, err := ReadFrame(conn, &req)
+		payload, err := ReadFrame(rd, &req)
 		if err != nil {
 			return // EOF or broken connection
 		}
-		resp, respPayload := s.handle(&req, payload, &identity, &authed)
-		if err := WriteFrame(conn, resp, respPayload); err != nil {
-			return
+		if req.Op == OpAuth {
+			// Auth mutates the connection's identity; handle it inline so
+			// every later frame observes the new principal.
+			resp := s.handleAuth(&req, &identity, &authed)
+			resp.Corr = req.Corr
+			if err := w.write(resp, nil); err != nil {
+				return
+			}
+			continue
 		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req Request, payload []byte, identity string, authed bool) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp, evs := s.handle(&req, payload, identity, authed)
+			resp.Corr = req.Corr
+			_ = w.write(resp, evs)
+		}(req, payload, identity, authed)
 	}
 }
 
@@ -132,17 +258,21 @@ func errResp(err error) *Response {
 	return &Response{Err: err.Error(), ErrKind: errKind(err)}
 }
 
-func (s *Server) handle(req *Request, payload []byte, identity *string, authed *bool) (*Response, []byte) {
-	if req.Op == OpAuth {
-		ident, err := s.Fabric.Auth.Authenticate(req.AccessKeyID, req.Secret)
-		if err != nil {
-			return errResp(err), nil
-		}
-		*identity = ident.ID
-		*authed = true
-		return &Response{Identity: ident.ID}, nil
+func (s *Server) handleAuth(req *Request, identity *string, authed *bool) *Response {
+	ident, err := s.Fabric.Auth.Authenticate(req.AccessKeyID, req.Secret)
+	if err != nil {
+		return errResp(err)
 	}
-	if !*authed {
+	*identity = ident.ID
+	*authed = true
+	return &Response{Identity: ident.ID}
+}
+
+// handle executes one data-plane request. Responses with an event
+// payload (fetch) return the events themselves; the respWriter marshals
+// them straight into the connection's pending write buffer.
+func (s *Server) handle(req *Request, payload []byte, identity string, authed bool) (*Response, []event.Event) {
+	if !authed {
 		return errResp(fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)), nil
 	}
 	switch req.Op {
@@ -153,23 +283,30 @@ func (s *Server) handle(req *Request, payload []byte, identity *string, authed *
 		if err != nil {
 			return errResp(err), nil
 		}
-		off, err := s.Fabric.Produce(*identity, req.Topic, req.Partition, evs, broker.Acks(req.Acks))
+		// The frame buffer is donated to the fabric as the batch arena:
+		// decoded events alias it, and from here it is owned by the log
+		// records. ReadFrame allocates a fresh buffer per frame, so the
+		// read loop never reuses it.
+		off, err := s.Fabric.ProduceDonated(identity, req.Topic, req.Partition, evs, broker.Acks(req.Acks))
 		if err != nil {
 			return errResp(err), nil
 		}
 		return &Response{Offset: off}, nil
 	case OpFetch:
-		res, err := s.Fabric.Fetch(*identity, req.Topic, req.Partition, req.Offset, req.MaxEvents, req.MaxBytes)
+		res, err := s.Fabric.Fetch(identity, req.Topic, req.Partition, req.Offset, req.MaxEvents, req.MaxBytes)
 		if err != nil {
 			return errResp(err), nil
 		}
-		offsets, data := EncodeFetch(res.Events)
+		offsets := make([]int64, len(res.Events))
+		for i := range res.Events {
+			offsets[i] = res.Events[i].Offset
+		}
 		return &Response{
 			NumEvents:     len(res.Events),
 			Offsets:       offsets,
 			HighWatermark: res.HighWatermark,
 			StartOffset:   res.StartOffset,
-		}, data
+		}, res.Events
 	case OpEndOffset:
 		off, err := s.Fabric.EndOffset(req.Topic, req.Partition)
 		if err != nil {

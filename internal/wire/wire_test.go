@@ -317,7 +317,7 @@ func TestClientReconnectsAfterConnectionDrop(t *testing.T) {
 	// Sever the connection out from under the client; the next call
 	// reconnects transparently.
 	c.mu.Lock()
-	c.conn.Close()
+	c.wc.conn.Close()
 	c.mu.Unlock()
 	if _, err := c.Produce("", "r", 0, []event.Event{{Value: []byte("b")}}, broker.AcksLeader); err != nil {
 		t.Fatalf("produce after drop: %v", err)

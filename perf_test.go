@@ -1,10 +1,16 @@
 package repro
 
 import (
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/event"
+	"repro/internal/wire"
 )
 
 // Allocation-regression benchmarks for the zero-allocation hot paths.
@@ -76,6 +82,206 @@ func BenchmarkFetchAllocs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fetch()
 	}
+}
+
+// legacyTransport hides Direct's BufferedFetcher extension, so the
+// consumer falls back to the pre-session per-fetch allocation path —
+// measured alongside the session path as the regression baseline.
+type legacyTransport struct{ client.Transport }
+
+// BenchmarkConsumerPollAllocs measures steady-state allocations of a
+// 64-event SDK consumer Poll through the zero-copy fetch session
+// (budget ≤2: the reused result slice plus amortized growth), and
+// reports the legacy non-session path for comparison.
+func BenchmarkConsumerPollAllocs(b *testing.B) {
+	f := newBenchFabric(b, 2, 2)
+	batch := oneKBBatch(64)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Produce("", "bench", 0, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mkPoll := func(t client.Transport) func() {
+		c := client.NewConsumer(t, client.ConsumerConfig{Start: client.StartEarliest})
+		b.Cleanup(func() { c.Close() })
+		if err := c.Assign("bench", 0); err != nil {
+			b.Fatal(err)
+		}
+		return func() {
+			c.Seek("bench", 0, 0)
+			evs, err := c.Poll(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(evs) != 64 {
+				b.Fatalf("polled %d events", len(evs))
+			}
+		}
+	}
+	poll := mkPoll(client.NewDirect(f))
+	legacyPoll := mkPoll(legacyTransport{client.NewDirect(f)})
+	poll()
+	legacyPoll()
+	allocs := testing.AllocsPerRun(100, poll)
+	legacy := testing.AllocsPerRun(100, legacyPoll)
+	if allocs > allocBudget {
+		b.Fatalf("session poll of 64 events allocates %.1f times, budget %.0f", allocs, allocBudget)
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poll()
+	}
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(allocs, "allocs/poll")
+	b.ReportMetric(legacy, "allocs/poll_legacy")
+}
+
+// delayProxy forwards TCP bytes in both directions with a fixed one-way
+// delay, emulating the WAN round trip of the paper's hybrid deployment
+// (remote producers on edge/HPC resources, fabric in the cloud). It is
+// what makes the pipelining gate meaningful on any host: on loopback
+// there is no latency to hide, so serial and pipelined clients converge
+// on per-op CPU cost — the regime the transport was built for is the
+// remote one.
+func delayProxy(b *testing.B, target string, oneWay time.Duration) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			src, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dst, err := net.Dial("tcp", target)
+			if err != nil {
+				src.Close()
+				return
+			}
+			go delayCopy(dst, src, oneWay)
+			go delayCopy(src, dst, oneWay)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// delayCopy relays src to dst, releasing each chunk only after the
+// one-way delay has elapsed (ordering preserved).
+func delayCopy(dst, src net.Conn, oneWay time.Duration) {
+	type chunk struct {
+		due  time.Time
+		data []byte
+	}
+	ch := make(chan chunk, 4096)
+	go func() {
+		defer dst.Close()
+		for c := range ch {
+			time.Sleep(time.Until(c.due))
+			if _, err := dst.Write(c.data); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(ch)
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			ch <- chunk{due: time.Now().Add(oneWay), data: append([]byte(nil), buf[:n]...)}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// BenchmarkRemoteProducePipelined gates the pipelined wire transport:
+// the same produce workload crosses an emulated remote link (2 ms RTT)
+// serially (one round trip in flight — the seed client's behavior) and
+// pipelined (16 in flight on one connection, correlation-dispatched).
+// The pipelined run must beat 2x the serial throughput or the benchmark
+// fails; with the round trip dominated by link latency the transport
+// should approach inflight-fold speedup.
+func BenchmarkRemoteProducePipelined(b *testing.B) {
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.CreateTopic("rp", "", cluster.TopicConfig{Partitions: 4}); err != nil {
+		b.Fatal(err)
+	}
+	srv := wire.NewServer(f)
+	srv.AllowAnonymous = true
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	remote := delayProxy(b, addr, time.Millisecond)
+	c, err := wire.DialAnonymous(remote)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const batchEvents, inflight = 16, 16
+	const serialProbe, pipeProbe = 128, 2048
+	batch := oneKBBatch(batchEvents)
+	produce := func(p int) error {
+		_, err := c.Produce("", "rp", p, batch, broker.AcksLeader)
+		return err
+	}
+	if err := produce(0); err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < serialProbe; i++ {
+		if err := produce(i % 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serial := float64(serialProbe) / time.Since(start).Seconds()
+	start = time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < pipeProbe/inflight; i++ {
+				if err := produce(w % 4); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+	pipelined := float64(pipeProbe) / time.Since(start).Seconds()
+	if pipelined < 2*serial {
+		b.Fatalf("pipelined %.0f rt/s < 2x serial %.0f rt/s over the same link", pipelined, serial)
+	}
+	b.SetBytes(batchEvents << 10)
+	b.ResetTimer()
+	b.SetParallelism(inflight)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := produce(0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(serial*batchEvents, "serial_events/s")
+	b.ReportMetric(pipelined*batchEvents, "pipelined_events/s")
+	b.ReportMetric(pipelined/serial, "speedup_x")
 }
 
 // BenchmarkUnmarshalBatchAllocs pins the fetch-side wire decode: one

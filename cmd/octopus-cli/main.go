@@ -45,6 +45,7 @@ func main() {
 		log.Fatalf("connect: %v", err)
 	}
 	defer conn.Close()
+	fmt.Fprintf(os.Stderr, "connected to %s (wire protocol v%d)\n", *addr, conn.ProtocolVersion())
 
 	switch args[0] {
 	case "produce":

@@ -10,7 +10,26 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/event"
+	"repro/internal/eventlog"
 )
+
+// TestTransportErrorSentinels anchors the Transport error contract on
+// the in-process side: the sentinels the wire protocol carries as
+// compact error codes must be exactly what Direct returns, so
+// errors.Is-based caller logic is transport-agnostic (the wire package's
+// interop suite asserts the same matches across TCP).
+func TestTransportErrorSentinels(t *testing.T) {
+	_, tr := newTransport(t, 1)
+	if _, err := tr.Fetch("", "ghost", 0, 0, 1, 0); !errors.Is(err, cluster.ErrNoTopic) {
+		t.Fatalf("unknown topic error = %v", err)
+	}
+	if _, err := tr.Fetch("", "t", 0, -5, 1, 0); !errors.Is(err, eventlog.ErrOffsetOutOfRange) {
+		t.Fatalf("out-of-range error = %v", err)
+	}
+	if _, err := tr.TopicMeta("ghost"); !errors.Is(err, cluster.ErrNoTopic) {
+		t.Fatalf("meta unknown topic error = %v", err)
+	}
+}
 
 func newTransport(t *testing.T, parts int) (*broker.Fabric, Transport) {
 	t.Helper()

@@ -16,6 +16,13 @@ import (
 
 // Transport is the client's connection to the event fabric. All SDK
 // functionality is built on these primitives.
+//
+// Errors are typed on every transport: implementations return (or, for
+// remote transports, reconstruct from compact wire error codes) the
+// domain sentinels — cluster.ErrNoTopic, eventlog.ErrOffsetOutOfRange,
+// broker.ErrLeaderUnavailable, auth.ErrDenied, ... — so callers can
+// errors.Is identically whether the fabric is in-process or across the
+// network.
 type Transport interface {
 	// Produce appends events; partition < 0 routes per event by key.
 	Produce(identity, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error)

@@ -2,13 +2,13 @@ package wire
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
-	"repro/internal/auth"
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/event"
@@ -21,41 +21,97 @@ import (
 // errors: the client never reconnects after an explicit Close.
 var ErrConnClosed = errors.New("wire: client closed")
 
+// Options configures DialOptions.
+type Options struct {
+	// AccessKeyID/Secret authenticate the connection; ignored when
+	// Anonymous is set.
+	AccessKeyID string
+	Secret      string
+	// Anonymous connects without credentials (servers with
+	// AllowAnonymous only).
+	Anonymous bool
+	// PoolSize is the number of TCP connections the client spreads load
+	// over (default 2). Requests for the same topic-partition always use
+	// the same connection, preserving per-partition ordering; requests
+	// for different partitions pipeline on independent connections.
+	PoolSize int
+	// MaxVersion caps the protocol version negotiated at connection open
+	// (default MaxProtocol). Setting it to ProtocolV1 skips negotiation
+	// entirely, reproducing a legacy client.
+	MaxVersion int
+}
+
+func (o *Options) fill() {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.MaxVersion <= 0 || o.MaxVersion > MaxProtocol {
+		o.MaxVersion = MaxProtocol
+	}
+}
+
 // Client is a client.Transport over the wire protocol: SDK producers
-// and consumers built on it run against a remote fabric unchanged.
+// and consumers built on it run against a remote fabric unchanged. Its
+// methods are typed per operation; on a v2 connection each call is one
+// binary header, on a v1 connection the same message transparently
+// travels as the legacy JSON header (see Options.MaxVersion).
 //
 // The transport is pipelined: each request carries a correlation ID, a
-// writer goroutine streams frames onto the connection (coalescing queued
-// frames into one write), and a reader goroutine dispatches responses to
-// their waiting callers by correlation ID. Many requests from many
-// goroutines are therefore in flight on one connection at once; the
-// serial round trip of the seed client is just the single-caller case.
+// writer goroutine streams frames onto the connection (coalescing
+// queued frames into one write), and a reader goroutine dispatches
+// responses to their waiting callers by correlation ID. Many requests
+// from many goroutines are therefore in flight at once. On top of
+// that, the client keeps a small connection pool with per-partition
+// affinity: requests for the same topic-partition always share one
+// connection (preserving ordering), while other partitions proceed on
+// their own connections.
 type Client struct {
 	addr string
-	// keyID/secret are replayed on reconnect.
-	keyID  string
-	secret string
-	anon   bool
+	opts Options
 
-	mu     sync.Mutex
-	wc     *wireConn
+	mu sync.Mutex
+	// slots are the pool's connections, dialed lazily; slot 0 carries
+	// control-plane ops and is established at Dial time so credential
+	// errors surface immediately.
+	slots  []*wireConn
 	closed bool
+	// slotMu serializes (re)dials per slot, so the dial + handshake of
+	// one connection never blocks requests riding other, healthy pool
+	// connections (c.mu is held only for the map-in/map-out).
+	slotMu []sync.Mutex
 }
 
 // call is one in-flight request: a correlation entry plus the caller's
 // completion channel.
 type call struct {
-	req     *Request
+	// op is the expected v2 response op (the request's op byte).
+	op uint8
+	// req is the typed request; the writer encodes it as a v2 binary
+	// header or, on a v1 connection, via its JSON conversion.
+	req ReqMsg
+	// rawV1, when set, bypasses req entirely and is sent as a v1 JSON
+	// header regardless of the connection version — the negotiate
+	// handshake itself, which must be readable by servers of any vintage.
+	rawV1   *Request
+	corr    uint64
 	payload []byte
 	// arena, when non-nil, is the caller's receive buffer: the reader
 	// goroutine reads the response payload into it (growing as needed),
 	// which is what makes the consumer's fetch session reuse work over
 	// the wire.
 	arena []byte
-	resp  Response
-	data  []byte
-	err   error
-	done  chan struct{}
+	// resp is the typed response target, decoded from the v2 body or
+	// filled from the v1 header; nil discards the body.
+	resp respMsg
+	// v1resp keeps the raw v1 header (negotiation reads Version/Features
+	// from it).
+	v1resp Response
+	data   []byte
+	// srvErr is a server-reported error, reconstructed as its domain
+	// sentinel; err is a transport or codec failure.
+	srvErr error
+	err    error
+	done   chan struct{}
 }
 
 // wireConn is one TCP connection with its pipelining state. A failed
@@ -68,9 +124,16 @@ type wireConn struct {
 	// segment, and the frame format needs several small reads per frame.
 	// Only the reader goroutine touches it.
 	rd *bufio.Reader
+	// hdrBuf is the reader's reusable header scratch buffer.
+	hdrBuf []byte
 
 	mu   sync.Mutex
 	cond *sync.Cond // signaled on queue push and on failure
+	// version is the negotiated protocol version. It starts at v1 and is
+	// bumped at most once, during the handshake, before any caller
+	// requests are admitted.
+	version  int
+	features uint32
 	// queue holds calls accepted but not yet written; the writer drains
 	// it in FIFO order. Unbounded: depth is naturally limited by the
 	// number of callers blocked awaiting responses.
@@ -86,87 +149,183 @@ type wireConn struct {
 
 // Dial connects and authenticates with an access key/secret.
 func Dial(addr, accessKeyID, secret string) (*Client, error) {
-	c := &Client{addr: addr, keyID: accessKeyID, secret: secret}
-	if err := c.dial(); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return DialOptions(addr, Options{AccessKeyID: accessKeyID, Secret: secret})
 }
 
 // DialAnonymous connects without credentials (servers with
 // AllowAnonymous only).
 func DialAnonymous(addr string) (*Client, error) {
-	c := &Client{addr: addr, anon: true}
-	if err := c.dial(); err != nil {
+	return DialOptions(addr, Options{Anonymous: true})
+}
+
+// DialOptions connects with explicit pool and protocol options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	o.fill()
+	c := &Client{addr: addr, opts: o, slots: make([]*wireConn, o.PoolSize), slotMu: make([]sync.Mutex, o.PoolSize)}
+	// Establish slot 0 eagerly so bad credentials or an unreachable
+	// server surface at dial time.
+	if _, err := c.conn(0); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) dial() error {
+// ProtocolVersion reports the protocol version negotiated with the
+// server (ProtocolV1 for legacy peers), or 0 before any connection is
+// established.
+func (c *Client) ProtocolVersion() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, err := c.connectLocked()
-	return err
+	for _, wc := range c.slots {
+		if wc != nil {
+			wc.mu.Lock()
+			v := wc.version
+			wc.mu.Unlock()
+			return v
+		}
+	}
+	return 0
 }
 
-// connectLocked dials, starts the writer/reader goroutines, and performs
-// the handshake. Callers hold c.mu.
-func (c *Client) connectLocked() (*wireConn, error) {
+// slotFor maps a topic-partition to its pool connection. Key-routed
+// produces (partition < 0) hash the topic alone, so all of a topic's
+// key-routed traffic shares one connection and per-key ordering holds.
+// Reads only the immutable pool size, so it needs no lock.
+func (c *Client) slotFor(topic string, partition int) int {
+	n := c.opts.PoolSize
+	if n == 1 || topic == "" {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	if partition >= 0 {
+		h ^= uint32(partition)
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// conn returns slot i's connection, dialing if there is none.
+func (c *Client) conn(i int) (*wireConn, error) {
+	c.slotMu[i].Lock()
+	defer c.slotMu[i].Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	if wc := c.slots[i]; wc != nil {
+		c.mu.Unlock()
+		return wc, nil
+	}
+	c.mu.Unlock()
+	return c.installConn(i)
+}
+
+// reconnect replaces slot i's connection, unless another caller already
+// has.
+func (c *Client) reconnect(i int, old *wireConn) (*wireConn, error) {
+	c.slotMu[i].Lock()
+	defer c.slotMu[i].Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	if c.slots[i] != nil && c.slots[i] != old {
+		wc := c.slots[i]
+		c.mu.Unlock()
+		return wc, nil
+	}
+	c.slots[i] = nil
+	c.mu.Unlock()
+	return c.installConn(i)
+}
+
+// installConn dials a fresh connection and publishes it as slot i.
+// Callers hold slotMu[i] (but not c.mu, so other slots keep flowing
+// during the dial and handshake round trips).
+func (c *Client) installConn(i int) (*wireConn, error) {
+	wc, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		wc.fail(ErrConnClosed)
+		return nil, ErrConnClosed
+	}
+	c.slots[i] = wc
+	c.mu.Unlock()
+	return wc, nil
+}
+
+// connect dials, starts the writer/reader goroutines, negotiates the
+// protocol version, and authenticates. It touches only immutable
+// client state, so no lock is held across the network round trips.
+func (c *Client) connect() (*wireConn, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, IOTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
-	wc := &wireConn{conn: conn, rd: bufio.NewReaderSize(conn, 64<<10), pending: make(map[uint64]*call)}
+	wc := &wireConn{
+		conn:    conn,
+		rd:      bufio.NewReaderSize(conn, 64<<10),
+		version: ProtocolV1,
+		pending: make(map[uint64]*call),
+	}
 	wc.cond = sync.NewCond(&wc.mu)
 	go wc.writeLoop()
 	go wc.readLoop()
-	handshake := &Request{Op: OpAuth, AccessKeyID: c.keyID, Secret: c.secret}
-	if c.anon {
-		// Probe with a ping so anonymous rejection surfaces at dial time.
-		handshake = &Request{Op: OpPing}
+
+	// Version handshake, always in v1 framing: a server that predates
+	// negotiation answers with an "unknown op" (or not-authenticated)
+	// error, which means "speak v1".
+	if c.opts.MaxVersion >= ProtocolV2 {
+		ncl := &call{
+			rawV1: &Request{Op: OpNegotiate, MaxVersion: c.opts.MaxVersion, Features: allFeatures},
+			done:  make(chan struct{}),
+		}
+		if err := wc.do(ncl); err != nil {
+			wc.fail(err)
+			return nil, err
+		}
+		if ncl.srvErr == nil && ncl.v1resp.Version >= ProtocolV2 {
+			wc.mu.Lock()
+			wc.version = ProtocolV2
+			wc.features = ncl.v1resp.Features & allFeatures
+			wc.mu.Unlock()
+		}
 	}
-	cl, err := wc.do(handshake, nil, nil)
+
+	// Authenticate (or probe, for anonymous connections) in the
+	// negotiated framing, so rejection surfaces at dial time.
+	var hcl *call
+	if c.opts.Anonymous {
+		hcl = &call{op: v2OpPing, req: &PingReq{}, resp: &EmptyResp{}, done: make(chan struct{})}
+	} else {
+		hcl = &call{
+			op:   v2OpAuth,
+			req:  &AuthReq{AccessKeyID: c.opts.AccessKeyID, Secret: c.opts.Secret},
+			resp: &AuthResp{}, done: make(chan struct{}),
+		}
+	}
+	err = wc.do(hcl)
 	if err == nil {
-		err = wireError(&cl.resp)
+		err = hcl.srvErr
 	}
 	if err != nil {
 		wc.fail(err)
 		return nil, err
 	}
-	c.wc = wc
 	return wc, nil
 }
 
-// conn returns the current connection, dialing if there is none.
-func (c *Client) conn() (*wireConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrConnClosed
-	}
-	if c.wc != nil {
-		return c.wc, nil
-	}
-	return c.connectLocked()
-}
-
-// reconnect replaces old with a fresh connection, unless another caller
-// already has.
-func (c *Client) reconnect(old *wireConn) (*wireConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrConnClosed
-	}
-	if c.wc != nil && c.wc != old {
-		return c.wc, nil
-	}
-	c.wc = nil
-	return c.connectLocked()
-}
-
-// Close shuts the connection, failing all pending requests with
+// Close shuts every pool connection, failing all pending requests with
 // ErrConnClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -175,34 +334,37 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	wc := c.wc
-	c.wc = nil
+	conns := make([]*wireConn, 0, len(c.slots))
+	for i, wc := range c.slots {
+		if wc != nil {
+			conns = append(conns, wc)
+			c.slots[i] = nil
+		}
+	}
 	c.mu.Unlock()
-	if wc != nil {
+	for _, wc := range conns {
 		wc.fail(ErrConnClosed)
 	}
 	return nil
 }
 
-// do submits a request on the connection and blocks for its completion.
-func (wc *wireConn) do(req *Request, payload, arena []byte) (*call, error) {
-	cl := &call{req: req, payload: payload, arena: arena, done: make(chan struct{})}
+// do submits a prepared call on the connection and blocks for its
+// completion, returning any transport/codec error (server-reported
+// errors are in cl.srvErr).
+func (wc *wireConn) do(cl *call) error {
 	wc.mu.Lock()
 	if wc.err != nil {
 		err := wc.err
 		wc.mu.Unlock()
-		return nil, err
+		return err
 	}
 	wc.nextCorr++
-	req.Corr = wc.nextCorr
+	cl.corr = wc.nextCorr
 	wc.queue = append(wc.queue, cl)
 	wc.cond.Signal()
 	wc.mu.Unlock()
 	<-cl.done
-	if cl.err != nil {
-		return nil, cl.err
-	}
-	return cl, nil
+	return cl.err
 }
 
 // fail marks the connection broken and fans the error out to every
@@ -225,6 +387,21 @@ func (wc *wireConn) fail(err error) {
 		cl.err = err
 		close(cl.done)
 	}
+}
+
+// appendCallFrame encodes one request frame in the connection's
+// negotiated framing. The negotiate handshake (rawV1) always travels as
+// v1 JSON.
+func appendCallFrame(buf []byte, version int, cl *call) ([]byte, error) {
+	if cl.rawV1 != nil || version < ProtocolV2 {
+		r := cl.rawV1
+		if r == nil {
+			r = cl.req.v1()
+		}
+		r.Corr = cl.corr
+		return appendFrame(buf, r, cl.payload)
+	}
+	return appendFrameRequestV2(buf, cl.corr, cl.req, cl.payload)
 }
 
 // writeLoop drains the queue, encoding every waiting frame into one
@@ -253,13 +430,14 @@ func (wc *wireConn) writeLoop() {
 		}
 		batch = append(batch[:0], wc.queue...)
 		wc.queue = wc.queue[:0]
+		version := wc.version
 		wc.mu.Unlock()
 
 		buf = buf[:0]
 		written = written[:0]
 		for _, cl := range batch {
 			n := len(buf)
-			grown, err := appendFrame(buf, cl.req, cl.payload)
+			grown, err := appendCallFrame(buf, version, cl)
 			if err != nil {
 				// Frame-level error (oversized, unmarshalable header):
 				// fail this call alone, the connection is fine.
@@ -287,7 +465,7 @@ func (wc *wireConn) writeLoop() {
 			return
 		}
 		for _, cl := range written {
-			wc.pending[cl.req.Corr] = cl
+			wc.pending[cl.corr] = cl
 		}
 		// A response must arrive within IOTimeout of the last write.
 		_ = wc.conn.SetWriteDeadline(time.Now().Add(IOTimeout))
@@ -304,20 +482,72 @@ func (wc *wireConn) writeLoop() {
 	}
 }
 
-// readLoop reads response frames and dispatches them to pending calls by
-// correlation ID, reading each payload directly into the matched
-// caller's receive buffer when one was provided.
+// readLoop reads response frames and dispatches them to pending calls
+// by correlation ID, decoding the typed (or JSON) header and reading
+// each payload directly into the matched caller's receive buffer when
+// one was provided. The framing version is checked per frame: the
+// handshake flips it between the negotiate response (v1) and the first
+// v2 response.
 func (wc *wireConn) readLoop() {
 	for {
-		var resp Response
-		if err := ReadHeader(wc.rd, &resp); err != nil {
+		hb, err := readHeaderInto(wc.rd, &wc.hdrBuf)
+		if err != nil {
 			wc.fail(err)
 			return
 		}
 		wc.mu.Lock()
-		cl := wc.pending[resp.Corr]
-		delete(wc.pending, resp.Corr)
+		v2 := wc.version >= ProtocolV2
 		wc.mu.Unlock()
+
+		var corr uint64
+		var op, code uint8
+		var body []byte
+		var v1resp Response
+		if v2 {
+			if op, code, corr, body, err = decodeRespPrefixV2(hb); err != nil {
+				wc.fail(err)
+				return
+			}
+		} else {
+			if err := json.Unmarshal(hb, &v1resp); err != nil {
+				wc.fail(fmt.Errorf("wire: bad header: %w", err))
+				return
+			}
+			corr = v1resp.Corr
+		}
+
+		wc.mu.Lock()
+		cl := wc.pending[corr]
+		delete(wc.pending, corr)
+		wc.mu.Unlock()
+
+		// Decode the header into the matched call before hdrBuf is
+		// reused by the next frame. Decode errors complete only this
+		// call; the connection framing is still intact.
+		if cl != nil {
+			if v2 {
+				switch {
+				case code != codeOK:
+					if detail, _, derr := getStr(body); derr != nil {
+						cl.err = derr
+					} else {
+						cl.srvErr = errFromCode(code, detail)
+					}
+				case op != cl.op:
+					cl.err = fmt.Errorf("wire: response op %d for request op %d", op, cl.op)
+				case cl.resp != nil:
+					cl.err = cl.resp.DecodeBody(body)
+				}
+			} else {
+				cl.v1resp = v1resp
+				if v1resp.Err != "" {
+					cl.srvErr = errFromKind(v1resp.ErrKind, v1resp.Err)
+				} else if cl.resp != nil {
+					cl.resp.fromV1(&cl.v1resp)
+				}
+			}
+		}
+
 		var arena []byte
 		if cl != nil {
 			arena = cl.arena
@@ -345,8 +575,11 @@ func (wc *wireConn) readLoop() {
 			_ = wc.conn.SetReadDeadline(time.Now().Add(IOTimeout))
 		}
 		wc.mu.Unlock()
+		if cap(wc.hdrBuf) > maxPooledFrame {
+			// One giant v1 offsets header must not pin its buffer.
+			wc.hdrBuf = nil
+		}
 		if cl != nil {
-			cl.resp = resp
 			cl.data = data
 			if data != nil {
 				cl.arena = data
@@ -356,17 +589,20 @@ func (wc *wireConn) readLoop() {
 	}
 }
 
-// do submits a request, waits for its response, and retries once over a
-// fresh connection on transport failure — the SDK's retry loop handles
-// persistent failure, exactly as with the serial client.
-func (c *Client) do(req *Request, payload, arena []byte) (*call, error) {
-	wc, err := c.conn()
+// call submits a typed request on the partition-affine connection,
+// waits for its response, and retries once over a fresh connection on
+// transport failure — the SDK's retry loop handles persistent failure.
+// The returned error is either a transport error or the server's
+// reconstructed domain sentinel.
+func (c *Client) call(slot int, req ReqMsg, resp respMsg, payload, arena []byte) (*call, error) {
+	wc, err := c.conn(slot)
 	if err != nil {
 		return nil, err
 	}
-	cl, derr := wc.do(req, payload, arena)
+	cl := &call{op: req.V2Op(), req: req, resp: resp, payload: payload, arena: arena, done: make(chan struct{})}
+	derr := wc.do(cl)
 	if derr == nil {
-		return cl, nil
+		return cl, cl.srvErr
 	}
 	if errors.Is(derr, ErrConnClosed) {
 		return nil, derr
@@ -375,45 +611,19 @@ func (c *Client) do(req *Request, payload, arena []byte) (*call, error) {
 	alive := wc.err == nil
 	wc.mu.Unlock()
 	if alive {
-		// Call-local failure (oversized frame, unmarshalable header):
-		// the connection is fine and a retry would fail identically.
+		// Call-local failure (oversized frame, codec error): the
+		// connection is fine and a retry would fail identically.
 		return nil, derr
 	}
-	wc2, rerr := c.reconnect(wc)
+	wc2, rerr := c.reconnect(slot, wc)
 	if rerr != nil {
 		return nil, derr
 	}
-	return wc2.do(req, payload, arena)
-}
-
-func (c *Client) roundTrip(req *Request, payload []byte) (*Response, []byte, error) {
-	cl, err := c.do(req, payload, nil)
-	if err != nil {
-		return nil, nil, err
+	cl2 := &call{op: req.V2Op(), req: req, resp: resp, payload: payload, arena: cl.arena, done: make(chan struct{})}
+	if derr := wc2.do(cl2); derr != nil {
+		return nil, derr
 	}
-	return &cl.resp, cl.data, nil
-}
-
-// wireError reconstructs sentinel errors from the error kind so that
-// errors.Is works across the network, which the SDK's retry logic needs.
-func wireError(resp *Response) error {
-	if resp.Err == "" {
-		return nil
-	}
-	switch resp.ErrKind {
-	case "leader_unavailable":
-		return fmt.Errorf("%w: %s", broker.ErrLeaderUnavailable, resp.Err)
-	case "not_enough_replicas":
-		return fmt.Errorf("%w: %s", broker.ErrNotEnoughReplicas, resp.Err)
-	case "stale_generation":
-		return fmt.Errorf("%w: %s", broker.ErrStaleGeneration, resp.Err)
-	case "denied":
-		return fmt.Errorf("%w: %s", auth.ErrDenied, resp.Err)
-	case "bad_credentials":
-		return fmt.Errorf("%w: %s", auth.ErrBadCredentials, resp.Err)
-	default:
-		return errors.New(resp.Err)
-	}
+	return cl2, cl2.srvErr
 }
 
 // producePool recycles produce payload buffers: the payload is fully
@@ -424,10 +634,11 @@ var producePool = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); retu
 // Produce implements client.Transport. identity is established by the
 // connection's credentials; the parameter is ignored.
 func (c *Client) Produce(_ string, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
-	req := &Request{Op: OpProduce, Topic: topic, Partition: partition, Acks: int(acks), NumEvents: len(evs)}
+	req := ProduceReq{Topic: topic, Partition: partition, Acks: int(acks), NumEvents: len(evs)}
+	var resp ProduceResp
 	bp := producePool.Get().(*[]byte)
 	payload := event.AppendBatchMarshal((*bp)[:0], evs)
-	resp, _, err := c.roundTrip(req, payload)
+	_, err := c.call(c.slotFor(topic, partition), &req, &resp, payload, nil)
 	if cap(payload) <= maxPooledFrame {
 		*bp = payload[:0]
 		producePool.Put(bp)
@@ -435,27 +646,22 @@ func (c *Client) Produce(_ string, topic string, partition int, evs []event.Even
 	if err != nil {
 		return 0, err
 	}
-	if err := wireError(resp); err != nil {
-		return 0, err
-	}
 	return resp.Offset, nil
 }
 
 // Fetch implements client.Transport.
 func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int) (broker.FetchResult, error) {
-	req := &Request{Op: OpFetch, Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
-	resp, data, err := c.roundTrip(req, nil)
+	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
+	var resp FetchResp
+	cl, err := c.call(c.slotFor(topic, partition), &req, &resp, nil, nil)
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
-	if err := wireError(resp); err != nil {
-		return broker.FetchResult{}, err
-	}
-	evs, err := DecodeEvents(data, resp.NumEvents)
+	evs, err := DecodeEvents(cl.data, resp.NumEvents)
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
-	stampFetched(evs, topic, partition, resp.Offsets)
+	resp.Stamp(evs, topic, partition)
 	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
 }
 
@@ -466,46 +672,31 @@ func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxE
 // frame and an event slice per fetch. Returned events alias buf.Arena
 // and are valid until the buffer's next use.
 func (c *Client) FetchBuffered(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error) {
-	req := &Request{Op: OpFetch, Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
-	cl, err := c.do(req, nil, buf.Arena[:0])
+	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
+	var resp FetchResp
+	cl, err := c.call(c.slotFor(topic, partition), &req, &resp, nil, buf.Arena[:0])
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
 	if cl.arena != nil {
 		buf.Arena = cl.arena
 	}
-	if err := wireError(&cl.resp); err != nil {
-		return broker.FetchResult{}, err
-	}
-	evs, pos, err := event.AppendUnmarshalBatch(buf.Events[:0], cl.data, cl.resp.NumEvents)
+	evs, pos, err := event.AppendUnmarshalBatch(buf.Events[:0], cl.data, resp.NumEvents)
 	if err != nil {
 		return broker.FetchResult{}, fmt.Errorf("wire: %w", err)
 	}
 	if pos != len(cl.data) {
-		return broker.FetchResult{}, fmt.Errorf("wire: %d trailing bytes after %d events", len(cl.data)-pos, cl.resp.NumEvents)
+		return broker.FetchResult{}, fmt.Errorf("wire: %d trailing bytes after %d events", len(cl.data)-pos, resp.NumEvents)
 	}
 	buf.Events = evs
-	stampFetched(evs, topic, partition, cl.resp.Offsets)
-	return broker.FetchResult{Events: evs, HighWatermark: cl.resp.HighWatermark, StartOffset: cl.resp.StartOffset}, nil
+	resp.Stamp(evs, topic, partition)
+	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
 }
 
-// stampFetched fills the container-carried fields on decoded events.
-func stampFetched(evs []event.Event, topic string, partition int, offsets []int64) {
-	for i := range evs {
-		evs[i].Topic = topic
-		evs[i].Partition = partition
-		if i < len(offsets) {
-			evs[i].Offset = offsets[i]
-		}
-	}
-}
-
-func (c *Client) offsetOp(op Op, topic string, partition int, tnano int64) (int64, error) {
-	resp, _, err := c.roundTrip(&Request{Op: op, Topic: topic, Partition: partition, TimeNano: tnano}, nil)
-	if err != nil {
-		return 0, err
-	}
-	if err := wireError(resp); err != nil {
+// offsetCall runs a request whose response is a single offset.
+func (c *Client) offsetCall(slot int, req ReqMsg) (int64, error) {
+	var resp OffsetResp
+	if _, err := c.call(slot, req, &resp, nil, nil); err != nil {
 		return 0, err
 	}
 	return resp.Offset, nil
@@ -513,26 +704,24 @@ func (c *Client) offsetOp(op Op, topic string, partition int, tnano int64) (int6
 
 // EndOffset implements client.Transport.
 func (c *Client) EndOffset(topic string, partition int) (int64, error) {
-	return c.offsetOp(OpEndOffset, topic, partition, 0)
+	return c.offsetCall(c.slotFor(topic, partition), &EndOffsetReq{Topic: topic, Partition: partition})
 }
 
 // StartOffset implements client.Transport.
 func (c *Client) StartOffset(topic string, partition int) (int64, error) {
-	return c.offsetOp(OpStartOffset, topic, partition, 0)
+	return c.offsetCall(c.slotFor(topic, partition), &StartOffsetReq{Topic: topic, Partition: partition})
 }
 
 // OffsetForTime implements client.Transport.
 func (c *Client) OffsetForTime(topic string, partition int, t time.Time) (int64, error) {
-	return c.offsetOp(OpOffsetForTime, topic, partition, t.UnixNano())
+	return c.offsetCall(c.slotFor(topic, partition), &OffsetForTimeReq{Topic: topic, Partition: partition, TimeNano: t.UnixNano()})
 }
 
 // TopicMeta implements client.Transport.
 func (c *Client) TopicMeta(topic string) (*cluster.TopicMeta, error) {
-	resp, _, err := c.roundTrip(&Request{Op: OpTopicMeta, Topic: topic}, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := wireError(resp); err != nil {
+	req := TopicMetaReq{Topic: topic}
+	var resp TopicMetaResp
+	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
 		return nil, err
 	}
 	return resp.Meta, nil
@@ -540,32 +729,25 @@ func (c *Client) TopicMeta(topic string) (*cluster.TopicMeta, error) {
 
 // JoinGroup implements client.Transport.
 func (c *Client) JoinGroup(groupID, memberID string, topics []string) (broker.Assignment, error) {
-	resp, _, err := c.roundTrip(&Request{Op: OpJoinGroup, Group: groupID, Member: memberID, Topics: topics}, nil)
-	if err != nil {
+	req := JoinGroupReq{Group: groupID, Member: memberID, Topics: topics}
+	var resp JoinGroupResp
+	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
 		return broker.Assignment{}, err
 	}
-	if err := wireError(resp); err != nil {
-		return broker.Assignment{}, err
-	}
-	asn := broker.Assignment{Generation: resp.Generation}
-	for _, tp := range resp.Partitions {
-		asn.Partitions = append(asn.Partitions, broker.TP{Topic: tp.Topic, Partition: tp.Partition})
-	}
-	return asn, nil
+	return broker.Assignment{Generation: resp.Generation, Partitions: resp.Partitions}, nil
 }
 
 // LeaveGroup implements client.Transport.
 func (c *Client) LeaveGroup(groupID, memberID string) {
-	_, _, _ = c.roundTrip(&Request{Op: OpLeaveGroup, Group: groupID, Member: memberID}, nil)
+	req := LeaveGroupReq{Group: groupID, Member: memberID}
+	_, _ = c.call(0, &req, nil, nil, nil)
 }
 
 // Heartbeat implements client.Transport.
 func (c *Client) Heartbeat(groupID, memberID string) (int, error) {
-	resp, _, err := c.roundTrip(&Request{Op: OpHeartbeat, Group: groupID, Member: memberID}, nil)
-	if err != nil {
-		return 0, err
-	}
-	if err := wireError(resp); err != nil {
+	req := HeartbeatReq{Group: groupID, Member: memberID}
+	var resp HeartbeatResp
+	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
 		return 0, err
 	}
 	return resp.Generation, nil
@@ -573,21 +755,19 @@ func (c *Client) Heartbeat(groupID, memberID string) (int, error) {
 
 // Commit implements client.Transport.
 func (c *Client) Commit(groupID, memberID string, generation int, topic string, partition int, offset int64) error {
-	resp, _, err := c.roundTrip(&Request{
-		Op: OpCommit, Group: groupID, Member: memberID, Generation: generation,
+	req := CommitReq{
+		Group: groupID, Member: memberID, Generation: generation,
 		Topic: topic, Partition: partition, Offset: offset,
-	}, nil)
-	if err != nil {
-		return err
 	}
-	return wireError(resp)
+	_, err := c.call(0, &req, nil, nil, nil)
+	return err
 }
 
 // Committed implements client.Transport.
 func (c *Client) Committed(groupID, topic string, partition int) int64 {
-	resp, _, err := c.roundTrip(&Request{Op: OpCommitted, Group: groupID, Topic: topic, Partition: partition}, nil)
-	if err != nil || wireError(resp) != nil {
+	off, err := c.offsetCall(0, &CommittedReq{Group: groupID, Topic: topic, Partition: partition})
+	if err != nil {
 		return -1
 	}
-	return resp.Offset
+	return off
 }

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/event"
+)
+
+// runWireSuite drives the full remote pipeline — SDK producer and
+// grouped prefetching consumer, offset and metadata ops, typed error
+// sentinels, and concurrent pipelined produces — against a server
+// capped at serverMax with a client capped at clientMax, asserting the
+// connection negotiates to wantVersion. It is the interop regression
+// harness: every version pairing must pass the identical suite.
+func runWireSuite(t *testing.T, serverMax, clientMax, wantVersion int) {
+	t.Helper()
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateTopic("ip", "", cluster.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(f)
+	s.AllowAnonymous = true
+	s.MaxVersion = serverMax
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := DialOptions(addr, Options{Anonymous: true, MaxVersion: clientMax, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ProtocolVersion(); v != wantVersion {
+		t.Fatalf("negotiated v%d, want v%d (server max %d, client max %d)", v, wantVersion, serverMax, clientMax)
+	}
+
+	// SDK producer: batched, keyed, flushed.
+	const total = 200
+	p := client.NewProducer(c, "ip", client.ProducerConfig{BatchEvents: 16, Linger: time.Millisecond})
+	for i := 0; i < total; i++ {
+		if err := p.SendJSON(fmt.Sprintf("k%d", i%17), map[string]any{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Close()
+
+	// Grouped, prefetching consumer: every event comes back, offsets
+	// stamped contiguously per partition (the dense-run decode path on
+	// v2, the legacy array on v1).
+	cons := client.NewConsumer(c, client.ConsumerConfig{
+		Group: "g", Start: client.StartEarliest, AutoCommit: true, Prefetch: true,
+	})
+	defer cons.Close()
+	if err := cons.Subscribe("ip"); err != nil {
+		t.Fatal(err)
+	}
+	lastOff := map[int]int64{}
+	got := 0
+	deadline := time.Now().Add(15 * time.Second)
+	for got < total && time.Now().Before(deadline) {
+		evs, err := cons.Poll(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if prev, ok := lastOff[ev.Partition]; ok && ev.Offset != prev+1 {
+				t.Fatalf("partition %d offsets not contiguous: %d after %d", ev.Partition, ev.Offset, prev)
+			}
+			lastOff[ev.Partition] = ev.Offset
+			got++
+		}
+	}
+	if got != total {
+		t.Fatalf("consumed %d of %d", got, total)
+	}
+
+	// Offset + metadata ops.
+	meta, err := c.TopicMeta("ip")
+	if err != nil || meta.Config.Partitions != 4 {
+		t.Fatalf("meta = %+v, %v", meta, err)
+	}
+	var end int64
+	for pt := 0; pt < 4; pt++ {
+		e, err := c.EndOffset("ip", pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, err := c.StartOffset("ip", pt)
+		if err != nil || start != 0 {
+			t.Fatalf("start = %d, %v", start, err)
+		}
+		end += e
+	}
+	if end != total {
+		t.Fatalf("end offsets sum to %d, want %d", end, total)
+	}
+
+	// Typed sentinels survive the transport in both protocol versions.
+	if _, err := c.Fetch("", "nope", 0, 0, 1, 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("unknown topic error = %v", err)
+	}
+	if _, err := c.Fetch("", "ip", 0, -5, 1, 0); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("out-of-range error = %v", err)
+	}
+
+	// Concurrent pipelined produces keep working after everything above.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := c.Produce("", "ip", w%4, []event.Event{{Value: []byte("x")}}, broker.AcksLeader); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestInteropV2ClientV1Server: a current client against a legacy
+// server negotiates down to v1 JSON framing and passes the full suite.
+func TestInteropV2ClientV1Server(t *testing.T) {
+	runWireSuite(t, ProtocolV1, ProtocolV2, ProtocolV1)
+}
+
+// TestInteropV1ClientV2Server: a legacy client (which never sends
+// OpNegotiate) against a current server is served in v1 framing.
+func TestInteropV1ClientV2Server(t *testing.T) {
+	runWireSuite(t, ProtocolV2, ProtocolV1, ProtocolV1)
+}
+
+// TestInteropV2V2 anchors the same suite on the all-current pairing.
+func TestInteropV2V2(t *testing.T) {
+	runWireSuite(t, ProtocolV2, ProtocolV2, ProtocolV2)
+}

@@ -29,7 +29,7 @@ func TestConcurrentRoundTripsOneConnection(t *testing.T) {
 	if _, err := f.CreateTopic("pipe", "", cluster.TopicConfig{Partitions: 4}); err != nil {
 		t.Fatal(err)
 	}
-	c, err := DialAnonymous(addr)
+	c, err := DialOptions(addr, Options{Anonymous: true, PoolSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +109,39 @@ func rawListen(t *testing.T, handler func(conn net.Conn)) string {
 	return ln.Addr().String()
 }
 
-// handshakeRaw answers the DialAnonymous ping probe.
+// handshakeRaw answers the client's connection-open sequence the way a
+// v1-only server would: OpNegotiate (if sent) gets an "unknown op"
+// error, which makes the client fall back to v1 framing, and the
+// anonymous ping probe gets an empty success.
 func handshakeRaw(t *testing.T, conn net.Conn) bool {
 	t.Helper()
-	var req Request
-	if _, err := ReadFrame(conn, &req); err != nil {
-		return false
+	for {
+		var req Request
+		if _, err := ReadFrame(conn, &req); err != nil {
+			return false
+		}
+		if req.Op == OpNegotiate {
+			resp := errRespV1(fmt.Errorf("wire: unknown op %q", req.Op))
+			resp.Corr = req.Corr
+			if WriteFrame(conn, resp, nil) != nil {
+				return false
+			}
+			continue
+		}
+		return WriteFrame(conn, &Response{Corr: req.Corr}, nil) == nil
 	}
-	return WriteFrame(conn, &Response{Corr: req.Corr}, nil) == nil
+}
+
+// dialRawAnon dials with a single pool connection, the configuration
+// the raw fake-server tests assume: every request lands on the one
+// connection the handler controls.
+func dialRawAnon(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := DialOptions(addr, Options{Anonymous: true, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // TestOutOfOrderResponseDelivery proves correlation matching: a server
@@ -145,10 +170,7 @@ func TestOutOfOrderResponseDelivery(t *testing.T) {
 			}
 		}
 	})
-	c, err := DialAnonymous(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := dialRawAnon(t, addr)
 	defer c.Close()
 	var wg sync.WaitGroup
 	for _, part := range []int{41, 42} {
@@ -261,10 +283,7 @@ func TestMidStreamDisconnectFansOutErrors(t *testing.T) {
 		}
 		conn.Close()
 	})
-	c, err := DialAnonymous(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := dialRawAnon(t, addr)
 	defer c.Close()
 	var wg sync.WaitGroup
 	errs := make(chan error, 3)
@@ -317,10 +336,7 @@ func TestDisconnectDuringPayloadRead(t *testing.T) {
 		_, _ = conn.Write(frame)
 		conn.Close()
 	})
-	c, err := DialAnonymous(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := dialRawAnon(t, addr)
 	defer c.Close()
 	done := make(chan error, 1)
 	go func() {
@@ -355,10 +371,7 @@ func TestCloseFailsPendingWithErrConnClosed(t *testing.T) {
 		var dummy Request
 		_, _ = ReadFrame(conn, &dummy)
 	})
-	c, err := DialAnonymous(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := dialRawAnon(t, addr)
 	result := make(chan error, 1)
 	go func() {
 		_, err := c.EndOffset("t", 0)

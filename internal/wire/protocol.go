@@ -1,16 +1,26 @@
 // Package wire is the Octopus binary network protocol: a length-framed
-// request/response RPC carrying JSON control headers and binary event
+// request/response RPC carrying control headers and binary event
 // batches. It lets producers and consumers on remote resources (edge,
 // HPC login nodes, other clouds) talk to the cloud-hosted fabric, the
 // hybrid deployment model of §IV. The wire client implements
 // client.Transport, so SDK producers/consumers work unchanged over TCP.
 //
-// Frame layout (big endian):
+// Frame layout (big endian), identical in both protocol versions:
 //
-//	u32 headerLen | header JSON | u32 payloadLen | payload bytes
+//	u32 headerLen | header bytes | u32 payloadLen | payload bytes
 //
 // The payload is a concatenation of event.Marshal records for produce
 // requests and fetch responses, empty otherwise.
+//
+// Two header encodings exist. Protocol v1 (this file) encodes headers
+// as JSON Request/Response documents — one bag of optional fields
+// shared by every operation. Protocol v2 (protocolv2.go) encodes each
+// operation as its own typed binary message. A connection starts in v1
+// framing; the client's first frame may be an OpNegotiate request, and
+// when the server answers with a version ≥ 2 both sides switch to v2
+// headers for every subsequent frame. Peers that predate negotiation
+// reject OpNegotiate as an unknown op, which the client treats as
+// "speak v1" — old servers and old clients keep working unchanged.
 //
 // The transport is pipelined: request headers carry a correlation ID
 // that the server echoes on the matching response, so many requests
@@ -36,6 +46,13 @@ type Op string
 
 // Protocol operations.
 const (
+	// OpNegotiate is the version handshake: the first request on a
+	// connection from a v2-capable client, always in v1 JSON framing so
+	// that servers of every vintage can parse it. Servers that know it
+	// answer with the selected version and feature set; servers that
+	// predate it answer with an "unknown op" error, which the client
+	// treats as negotiating down to v1.
+	OpNegotiate     Op = "negotiate"
 	OpAuth          Op = "auth"
 	OpProduce       Op = "produce"
 	OpFetch         Op = "fetch"
@@ -51,14 +68,26 @@ const (
 	OpPing          Op = "ping"
 )
 
-// MaxFrame bounds a frame to keep a misbehaving peer from exhausting
-// memory (64 MiB, comfortably above the 6 MB trigger batch cap).
+// MaxFrame bounds a frame's payload to keep a misbehaving peer from
+// exhausting memory (64 MiB, comfortably above the 6 MB trigger batch
+// cap).
 const MaxFrame = 64 << 20
 
-// ErrFrameTooLarge reports an over-sized frame.
+// MaxHeader bounds a frame's header section independently of the
+// payload bound. Headers are small (a few hundred bytes of JSON in v1,
+// tens of bytes of binary in v2), so a headerLen near MaxFrame is
+// hostile — both sides reject it before allocating or reading a byte
+// of it. 8 MiB leaves generous room for the largest legitimate header,
+// a v1 fetch response carrying a per-event JSON offsets array
+// (~800k-event fetches of zero-byte events), while still refusing the
+// 64 MiB forced read a hostile length could previously demand.
+const MaxHeader = 8 << 20
+
+// ErrFrameTooLarge reports an over-sized frame section (header or
+// payload, each checked against its own bound before allocation).
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 
-// Request is the JSON header of a client frame.
+// Request is the JSON header of a client frame (protocol v1).
 type Request struct {
 	Op Op `json:"op"`
 	// Corr is the request's correlation ID. The client assigns a
@@ -66,6 +95,10 @@ type Request struct {
 	// matching response, which is what lets many requests be in flight on
 	// one connection with responses delivered in any order.
 	Corr uint64 `json:"corr,omitempty"`
+	// Negotiation fields (OpNegotiate): the highest protocol version the
+	// client speaks and the features it implements.
+	MaxVersion int    `json:"max_version,omitempty"`
+	Features   uint32 `json:"features,omitempty"`
 	// Auth fields (OpAuth).
 	AccessKeyID string `json:"access_key_id,omitempty"`
 	Secret      string `json:"secret,omitempty"`
@@ -93,10 +126,15 @@ type TPJSON struct {
 	Partition int    `json:"partition"`
 }
 
-// Response is the JSON header of a server frame.
+// Response is the JSON header of a server frame (protocol v1).
 type Response struct {
 	// Corr echoes the request's correlation ID.
 	Corr uint64 `json:"corr,omitempty"`
+
+	// Negotiation fields (OpNegotiate): the version the server selected
+	// and the feature intersection.
+	Version  int    `json:"version,omitempty"`
+	Features uint32 `json:"features,omitempty"`
 
 	Err string `json:"err,omitempty"`
 	// ErrKind carries the sentinel class so clients can match with
@@ -124,7 +162,7 @@ func appendFrame(buf []byte, header any, payload []byte) ([]byte, error) {
 	if err != nil {
 		return buf, fmt.Errorf("wire: marshal header: %w", err)
 	}
-	if len(hb) > MaxFrame || len(payload) > MaxFrame {
+	if len(hb) > MaxHeader || len(payload) > MaxFrame {
 		return buf, ErrFrameTooLarge
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hb)))
@@ -157,22 +195,41 @@ func WriteFrame(w io.Writer, header any, payload []byte) error {
 	return err
 }
 
+// readHeaderInto reads the raw header section of a frame into *buf,
+// growing (and replacing) it as needed, and returns the filled slice.
+// The header length is checked against MaxHeader before any allocation
+// or read, so a hostile length cannot force a large read ahead of the
+// payload's own bound.
+func readHeaderInto(r io.Reader, buf *[]byte) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	hlen := binary.BigEndian.Uint32(lenBuf[:])
+	if hlen > MaxHeader {
+		return nil, ErrFrameTooLarge
+	}
+	hb := *buf
+	if cap(hb) < int(hlen) {
+		hb = make([]byte, hlen)
+		*buf = hb
+	}
+	hb = hb[:hlen]
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, err
+	}
+	return hb, nil
+}
+
 // ReadHeader reads the header section of a frame, decoding the JSON
 // header into header. The payload section must then be consumed with
 // ReadPayloadInto before the next ReadHeader. The split lets the
 // pipelined client match the correlation ID first, then read the payload
 // directly into that request's receive buffer.
 func ReadHeader(r io.Reader, header any) error {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return err
-	}
-	hlen := binary.BigEndian.Uint32(lenBuf[:])
-	if hlen > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	hb := make([]byte, hlen)
-	if _, err := io.ReadFull(r, hb); err != nil {
+	var hb []byte
+	hb, err := readHeaderInto(r, &hb)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(hb, header); err != nil {
@@ -229,7 +286,7 @@ func appendFrameEvents(buf []byte, header any, evs []event.Event) ([]byte, error
 	if err != nil {
 		return buf, fmt.Errorf("wire: marshal header: %w", err)
 	}
-	if len(hb) > MaxFrame {
+	if len(hb) > MaxHeader {
 		return buf, ErrFrameTooLarge
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(hb)))

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"time"
@@ -19,21 +18,35 @@ import (
 // a misbehaving peer cannot spawn unbounded handler goroutines.
 const maxConnConcurrency = 64
 
+// errUnknownOp reports a request op the server does not implement.
+var errUnknownOp = errors.New("wire: unknown op")
+
 // Server exposes a fabric over TCP. Each connection authenticates once
 // with an IAM-style access key (OpAuth) and then issues data-plane
 // requests under that identity; ACLs are enforced by the fabric.
 //
+// A connection starts in v1 (JSON header) framing. A v2-capable client
+// opens with OpNegotiate; the server answers with the selected version
+// and, when it is ≥ 2, both sides switch to typed binary headers for
+// every later frame on that connection. Old clients never negotiate
+// and are served in v1 framing throughout.
+//
 // Requests on one connection are handled concurrently (up to
-// maxConnConcurrency in flight): the read loop dispatches each frame to
-// a handler goroutine and responses are written, correlation-tagged, in
-// completion order — a slow fetch does not block the produces pipelined
-// behind it.
+// maxConnConcurrency in flight): the read loop decodes each header,
+// dispatches the typed request to a handler goroutine, and responses
+// are written, correlation-tagged, in completion order — a slow fetch
+// does not block the produces pipelined behind it.
 type Server struct {
 	Fabric *broker.Fabric
 	// AllowAnonymous lets connections skip OpAuth and act as the
 	// trusted in-process identity. Off by default; used by tests and
 	// single-user deployments.
 	AllowAnonymous bool
+	// MaxVersion caps the negotiable protocol version (0 = MaxProtocol).
+	// Setting it to ProtocolV1 reproduces a legacy server: OpNegotiate
+	// is answered with an "unknown op" error, exactly as servers that
+	// predate the handshake answer it.
+	MaxVersion int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -45,6 +58,13 @@ type Server struct {
 // NewServer creates a wire server for the fabric.
 func NewServer(f *broker.Fabric) *Server {
 	return &Server{Fabric: f, conns: make(map[net.Conn]bool)}
+}
+
+func (s *Server) maxVersion() int {
+	if s.MaxVersion <= 0 || s.MaxVersion > MaxProtocol {
+		return MaxProtocol
+	}
+	return s.MaxVersion
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
@@ -124,17 +144,32 @@ func newRespWriter(conn net.Conn) *respWriter {
 	return w
 }
 
-// write enqueues one response frame whose payload is the marshaled
+// write enqueues one v1 response frame whose payload is the marshaled
 // event batch (nil for payload-free responses), encoded directly into
 // the pending buffer — no intermediate payload buffer or second copy.
 func (w *respWriter) write(resp *Response, evs []event.Event) error {
+	return w.enqueue(func(buf []byte) ([]byte, error) {
+		return appendFrameEvents(buf, resp, evs)
+	})
+}
+
+// writeV2 enqueues one v2 response frame: a typed binary header (or an
+// error code + detail when respErr is non-nil) followed by the
+// marshaled event batch.
+func (w *respWriter) writeV2(op uint8, corr uint64, m Msg, respErr error, evs []event.Event) error {
+	return w.enqueue(func(buf []byte) ([]byte, error) {
+		return appendFrameResponseV2(buf, op, corr, m, respErr, evs)
+	})
+}
+
+func (w *respWriter) enqueue(encode func([]byte) ([]byte, error)) error {
 	w.mu.Lock()
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
 		return err
 	}
-	buf, err := appendFrameEvents(w.buf, resp, evs)
+	buf, err := encode(w.buf)
 	if err != nil {
 		w.mu.Unlock()
 		return err
@@ -203,164 +238,288 @@ func (s *Server) serveConn(conn net.Conn) {
 	sem := make(chan struct{}, maxConnConcurrency)
 	identity := ""
 	authed := s.AllowAnonymous
+	// version is the connection's framing, flipped at most once by an
+	// inline-handled OpNegotiate. Only the read loop touches it;
+	// handlers capture the version their request arrived under.
+	version := ProtocolV1
+	var hdrBuf []byte
 	// Buffered reads: a pipelined client coalesces many frames per
 	// write, so the read loop should not pay three syscalls per frame.
-	// Payload buffers are still allocated fresh per frame (ReadFrame),
-	// which the produce donation path depends on.
+	// Payload buffers are still allocated fresh per frame, which the
+	// produce donation path depends on.
 	rd := bufio.NewReaderSize(conn, 64<<10)
 	for {
+		if version >= ProtocolV2 {
+			hb, err := readHeaderInto(rd, &hdrBuf)
+			if err != nil {
+				return // EOF or broken connection
+			}
+			corr, op, m, derr := decodeAnyRequestV2(hb)
+			payload, err := ReadPayloadInto(rd, nil)
+			if err != nil {
+				return
+			}
+			if derr != nil {
+				if len(hb) < v2ReqPrefix {
+					// Header too short for even the prefix: the peer is
+					// not speaking v2 framing, drop the connection.
+					return
+				}
+				// Unknown op or malformed body with an intact prefix:
+				// answer with a typed error, the framing is fine.
+				if w.writeV2(op, corr, nil, derr, nil) != nil {
+					return
+				}
+				continue
+			}
+			if a, ok := m.(*AuthReq); ok {
+				// Auth mutates the connection's identity; handle it inline
+				// so every later frame observes the new principal.
+				resp, aerr := s.authenticate(a, &identity, &authed)
+				if w.writeV2(op, corr, resp, aerr, nil) != nil {
+					return
+				}
+				continue
+			}
+			sem <- struct{}{}
+			handlers.Add(1)
+			go func(op uint8, corr uint64, m ReqMsg, payload []byte, identity string, authed bool) {
+				defer handlers.Done()
+				defer func() { <-sem }()
+				resp, evs, err := s.dispatch(m, payload, identity, authed)
+				if werr := w.writeV2(op, corr, resp, err, evs); errors.Is(werr, ErrFrameTooLarge) {
+					// The success response didn't fit its frame bound
+					// (e.g. a pathologically fragmented offset run list):
+					// the caller must still get an answer, or it hangs
+					// until the deadline kills the whole connection.
+					// Error frames are tiny and always fit.
+					_ = w.writeV2(op, corr, nil, werr, nil)
+				}
+			}(op, corr, m, payload, identity, authed)
+			continue
+		}
+
 		var req Request
 		payload, err := ReadFrame(rd, &req)
 		if err != nil {
 			return // EOF or broken connection
 		}
-		if req.Op == OpAuth {
-			// Auth mutates the connection's identity; handle it inline so
-			// every later frame observes the new principal.
-			resp := s.handleAuth(&req, &identity, &authed)
-			resp.Corr = req.Corr
-			if err := w.write(resp, nil); err != nil {
+		switch req.Op {
+		case OpNegotiate:
+			// Version handshake; handled inline (before auth — old
+			// clients never send it, new clients send it first) because
+			// it flips the connection's framing.
+			switch {
+			case s.maxVersion() < ProtocolV2:
+				// Legacy emulation: answer exactly as a server that
+				// predates the handshake would.
+				resp := errRespV1(fmt.Errorf("%w %q", errUnknownOp, req.Op))
+				resp.Corr = req.Corr
+				if w.write(resp, nil) != nil {
+					return
+				}
+			case req.MaxVersion >= ProtocolV2:
+				resp := &Response{Corr: req.Corr, Version: ProtocolV2, Features: req.Features & allFeatures}
+				if w.write(resp, nil) != nil {
+					return
+				}
+				// Every frame after this response — in both directions —
+				// is v2. The respWriter preserves enqueue order, so the
+				// v1 response above always leaves first.
+				version = ProtocolV2
+			default:
+				resp := &Response{Corr: req.Corr, Version: ProtocolV1}
+				if w.write(resp, nil) != nil {
+					return
+				}
+			}
+			continue
+		case OpAuth:
+			aresp := &Response{Corr: req.Corr}
+			resp, aerr := s.authenticate(&AuthReq{AccessKeyID: req.AccessKeyID, Secret: req.Secret}, &identity, &authed)
+			if aerr != nil {
+				aresp = errRespV1(aerr)
+				aresp.Corr = req.Corr
+			} else {
+				resp.toV1(aresp)
+			}
+			if w.write(aresp, nil) != nil {
 				return
 			}
 			continue
 		}
+		m, perr := req.typed()
 		sem <- struct{}{}
 		handlers.Add(1)
-		go func(req Request, payload []byte, identity string, authed bool) {
+		go func(corr uint64, m ReqMsg, perr error, payload []byte, identity string, authed bool) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			resp, evs := s.handle(&req, payload, identity, authed)
-			resp.Corr = req.Corr
-			_ = w.write(resp, evs)
-		}(req, payload, identity, authed)
+			var (
+				resp respMsg
+				evs  []event.Event
+				err  error
+			)
+			if perr != nil {
+				err = perr
+			} else {
+				resp, evs, err = s.dispatch(m, payload, identity, authed)
+			}
+			v1 := &Response{Corr: corr}
+			if err != nil {
+				v1 = errRespV1(err)
+				v1.Corr = corr
+				evs = nil
+			} else if resp != nil {
+				resp.toV1(v1)
+			}
+			if werr := w.write(v1, evs); errors.Is(werr, ErrFrameTooLarge) {
+				// As on the v2 path: an unencodable success response
+				// (e.g. a v1 Offsets array past MaxHeader) must come
+				// back as an error, not a hang.
+				er := errRespV1(werr)
+				er.Corr = corr
+				_ = w.write(er, nil)
+			}
+		}(req.Corr, m, perr, payload, identity, authed)
 	}
 }
 
-// errKind maps domain sentinels to wire error kinds.
-func errKind(err error) string {
-	switch {
-	case errors.Is(err, broker.ErrLeaderUnavailable):
-		return "leader_unavailable"
-	case errors.Is(err, broker.ErrNotEnoughReplicas):
-		return "not_enough_replicas"
-	case errors.Is(err, broker.ErrStaleGeneration):
-		return "stale_generation"
-	case errors.Is(err, auth.ErrDenied):
-		return "denied"
-	case errors.Is(err, auth.ErrBadCredentials):
-		return "bad_credentials"
-	default:
-		return "other"
+// errRespV1 builds a v1 error response, carrying the sentinel class as
+// the legacy err_kind string.
+func errRespV1(err error) *Response {
+	_, kind := errCodeOf(err)
+	return &Response{Err: err.Error(), ErrKind: kind}
+}
+
+// typed converts a v1 JSON request header to its typed message — the
+// server-side inverse of ReqMsg.v1, which lets the dispatch path be
+// version-agnostic.
+func (r *Request) typed() (ReqMsg, error) {
+	switch r.Op {
+	case OpPing:
+		return &PingReq{}, nil
+	case OpProduce:
+		return &ProduceReq{Topic: r.Topic, Partition: r.Partition, Acks: r.Acks, NumEvents: r.NumEvents}, nil
+	case OpFetch:
+		return &FetchReq{Topic: r.Topic, Partition: r.Partition, Offset: r.Offset, MaxEvents: r.MaxEvents, MaxBytes: r.MaxBytes}, nil
+	case OpEndOffset:
+		return &EndOffsetReq{Topic: r.Topic, Partition: r.Partition}, nil
+	case OpStartOffset:
+		return &StartOffsetReq{Topic: r.Topic, Partition: r.Partition}, nil
+	case OpOffsetForTime:
+		return &OffsetForTimeReq{Topic: r.Topic, Partition: r.Partition, TimeNano: r.TimeNano}, nil
+	case OpTopicMeta:
+		return &TopicMetaReq{Topic: r.Topic}, nil
+	case OpJoinGroup:
+		return &JoinGroupReq{Group: r.Group, Member: r.Member, Topics: r.Topics}, nil
+	case OpLeaveGroup:
+		return &LeaveGroupReq{Group: r.Group, Member: r.Member}, nil
+	case OpHeartbeat:
+		return &HeartbeatReq{Group: r.Group, Member: r.Member}, nil
+	case OpCommit:
+		return &CommitReq{Group: r.Group, Member: r.Member, Generation: r.Generation, Topic: r.Topic, Partition: r.Partition, Offset: r.Offset}, nil
+	case OpCommitted:
+		return &CommittedReq{Group: r.Group, Topic: r.Topic, Partition: r.Partition}, nil
 	}
+	return nil, fmt.Errorf("%w %q", errUnknownOp, r.Op)
 }
 
-func errResp(err error) *Response {
-	return &Response{Err: err.Error(), ErrKind: errKind(err)}
-}
-
-func (s *Server) handleAuth(req *Request, identity *string, authed *bool) *Response {
-	ident, err := s.Fabric.Auth.Authenticate(req.AccessKeyID, req.Secret)
+// authenticate handles OpAuth against the fabric's identity store.
+func (s *Server) authenticate(a *AuthReq, identity *string, authed *bool) (*AuthResp, error) {
+	ident, err := s.Fabric.Auth.Authenticate(a.AccessKeyID, a.Secret)
 	if err != nil {
-		return errResp(err)
+		return nil, err
 	}
 	*identity = ident.ID
 	*authed = true
-	return &Response{Identity: ident.ID}
+	return &AuthResp{Identity: ident.ID}, nil
 }
 
-// handle executes one data-plane request. Responses with an event
-// payload (fetch) return the events themselves; the respWriter marshals
-// them straight into the connection's pending write buffer.
-func (s *Server) handle(req *Request, payload []byte, identity string, authed bool) (*Response, []event.Event) {
+// dispatch executes one data-plane request against the fabric.
+// Responses with an event payload (fetch) return the events themselves;
+// the respWriter marshals them straight into the connection's pending
+// write buffer, in whichever framing the request arrived under.
+func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool) (respMsg, []event.Event, error) {
 	if !authed {
-		return errResp(fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)), nil
+		return nil, nil, fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)
 	}
-	switch req.Op {
-	case OpPing:
-		return &Response{}, nil
-	case OpProduce:
-		evs, err := DecodeEvents(payload, req.NumEvents)
+	switch q := m.(type) {
+	case *PingReq:
+		return &EmptyResp{}, nil, nil
+	case *ProduceReq:
+		evs, err := DecodeEvents(payload, q.NumEvents)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
 		// The frame buffer is donated to the fabric as the batch arena:
 		// decoded events alias it, and from here it is owned by the log
-		// records. ReadFrame allocates a fresh buffer per frame, so the
-		// read loop never reuses it.
-		off, err := s.Fabric.ProduceDonated(identity, req.Topic, req.Partition, evs, broker.Acks(req.Acks))
+		// records. The read loop allocates a fresh payload buffer per
+		// frame, so it never reuses this one.
+		off, err := s.Fabric.ProduceDonated(identity, q.Topic, q.Partition, evs, broker.Acks(q.Acks))
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Offset: off}, nil
-	case OpFetch:
-		res, err := s.Fabric.Fetch(identity, req.Topic, req.Partition, req.Offset, req.MaxEvents, req.MaxBytes)
+		return &ProduceResp{Offset: off}, nil, nil
+	case *FetchReq:
+		res, err := s.Fabric.Fetch(identity, q.Topic, q.Partition, q.Offset, q.MaxEvents, q.MaxBytes)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		offsets := make([]int64, len(res.Events))
-		for i := range res.Events {
-			offsets[i] = res.Events[i].Offset
-		}
-		return &Response{
+		resp := &FetchResp{
 			NumEvents:     len(res.Events),
-			Offsets:       offsets,
 			HighWatermark: res.HighWatermark,
 			StartOffset:   res.StartOffset,
-		}, res.Events
-	case OpEndOffset:
-		off, err := s.Fabric.EndOffset(req.Topic, req.Partition)
+		}
+		resp.SetOffsets(res.Events)
+		return resp, res.Events, nil
+	case *EndOffsetReq:
+		off, err := s.Fabric.EndOffset(q.Topic, q.Partition)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Offset: off}, nil
-	case OpStartOffset:
-		off, err := s.Fabric.StartOffset(req.Topic, req.Partition)
+		return &OffsetResp{Offset: off}, nil, nil
+	case *StartOffsetReq:
+		off, err := s.Fabric.StartOffset(q.Topic, q.Partition)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Offset: off}, nil
-	case OpOffsetForTime:
-		off, err := s.Fabric.OffsetForTime(req.Topic, req.Partition, time.Unix(0, req.TimeNano))
+		return &OffsetResp{Offset: off}, nil, nil
+	case *OffsetForTimeReq:
+		off, err := s.Fabric.OffsetForTime(q.Topic, q.Partition, time.Unix(0, q.TimeNano))
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Offset: off}, nil
-	case OpTopicMeta:
-		meta, err := s.Fabric.Ctl.Topic(req.Topic)
+		return &OffsetResp{Offset: off}, nil, nil
+	case *TopicMetaReq:
+		meta, err := s.Fabric.Ctl.Topic(q.Topic)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Meta: meta}, nil
-	case OpJoinGroup:
-		asn, err := s.Fabric.Groups.Join(req.Group, req.Member, req.Topics)
+		return &TopicMetaResp{Meta: meta}, nil, nil
+	case *JoinGroupReq:
+		asn, err := s.Fabric.Groups.Join(q.Group, q.Member, q.Topics)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		tps := make([]TPJSON, len(asn.Partitions))
-		for i, tp := range asn.Partitions {
-			tps[i] = TPJSON{Topic: tp.Topic, Partition: tp.Partition}
-		}
-		return &Response{Generation: asn.Generation, Partitions: tps}, nil
-	case OpLeaveGroup:
-		s.Fabric.Groups.Leave(req.Group, req.Member)
-		return &Response{}, nil
-	case OpHeartbeat:
-		gen, err := s.Fabric.Groups.Heartbeat(req.Group, req.Member)
+		return &JoinGroupResp{Generation: asn.Generation, Partitions: asn.Partitions}, nil, nil
+	case *LeaveGroupReq:
+		s.Fabric.Groups.Leave(q.Group, q.Member)
+		return &EmptyResp{}, nil, nil
+	case *HeartbeatReq:
+		gen, err := s.Fabric.Groups.Heartbeat(q.Group, q.Member)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{Generation: gen}, nil
-	case OpCommit:
-		err := s.Fabric.Groups.Commit(req.Group, req.Member, req.Generation, req.Topic, req.Partition, req.Offset)
+		return &HeartbeatResp{Generation: gen}, nil, nil
+	case *CommitReq:
+		err := s.Fabric.Groups.Commit(q.Group, q.Member, q.Generation, q.Topic, q.Partition, q.Offset)
 		if err != nil {
-			return errResp(err), nil
+			return nil, nil, err
 		}
-		return &Response{}, nil
-	case OpCommitted:
-		off := s.Fabric.Groups.Committed(req.Group, req.Topic, req.Partition)
-		return &Response{Offset: off}, nil
-	default:
-		log.Printf("wire: unknown op %q", req.Op)
-		return errResp(fmt.Errorf("wire: unknown op %q", req.Op)), nil
+		return &EmptyResp{}, nil, nil
+	case *CommittedReq:
+		off := s.Fabric.Groups.Committed(q.Group, q.Topic, q.Partition)
+		return &OffsetResp{Offset: off}, nil, nil
 	}
+	return nil, nil, fmt.Errorf("%w %T", errUnknownOp, m)
 }

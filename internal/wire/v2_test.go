@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/broker"
+	"repro/internal/cluster"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+)
+
+// fuzzReqSeeds returns one populated instance of every v2 request
+// message — the round-trip table and the fuzz corpus.
+func fuzzReqSeeds() []ReqMsg {
+	return []ReqMsg{
+		&PingReq{},
+		&AuthReq{AccessKeyID: "AKIA123", Secret: "s3cret"},
+		&ProduceReq{Topic: "t", Partition: -1, Acks: -1, NumEvents: 64},
+		&FetchReq{Topic: "telemetry", Partition: 3, Offset: 1 << 40, MaxEvents: 500, MaxBytes: 2 << 20},
+		&EndOffsetReq{Topic: "t", Partition: 1},
+		&StartOffsetReq{Topic: "t", Partition: 0},
+		&OffsetForTimeReq{Topic: "t", Partition: 2, TimeNano: -7},
+		&TopicMetaReq{Topic: "meta-topic"},
+		&JoinGroupReq{Group: "g", Member: "m-1", Topics: []string{"a", "b", "c"}},
+		&LeaveGroupReq{Group: "g", Member: "m-1"},
+		&HeartbeatReq{Group: "g", Member: "m-1"},
+		&CommitReq{Group: "g", Member: "m", Generation: 4, Topic: "t", Partition: 1, Offset: 99},
+		&CommittedReq{Group: "g", Topic: "t", Partition: 1},
+	}
+}
+
+// fuzzRespSeeds returns (op, message) pairs covering every v2 response
+// body shape.
+func fuzzRespSeeds() []struct {
+	op uint8
+	m  Msg
+} {
+	fetch := &FetchResp{NumEvents: 5, HighWatermark: 100, StartOffset: 2}
+	fetch.SetOffsets([]event.Event{{Offset: 10}, {Offset: 11}, {Offset: 12}, {Offset: 40}, {Offset: 41}})
+	return []struct {
+		op uint8
+		m  Msg
+	}{
+		{v2OpPing, &EmptyResp{}},
+		{v2OpAuth, &AuthResp{Identity: "alice"}},
+		{v2OpProduce, &ProduceResp{Offset: 1234}},
+		{v2OpFetch, fetch},
+		{v2OpEndOffset, &OffsetResp{Offset: -1}},
+		{v2OpTopicMeta, &TopicMetaResp{Meta: &cluster.TopicMeta{
+			Name:   "t",
+			Config: cluster.TopicConfig{Partitions: 2, ReplicationFactor: 2, Retention: time.Hour},
+			Partitions: []cluster.PartitionMeta{
+				{Topic: "t", ID: 0, Leader: 1, Replicas: []int{1, 0}, ISR: []int{1}},
+			},
+		}}},
+		{v2OpJoinGroup, &JoinGroupResp{Generation: 3, Partitions: []broker.TP{{Topic: "t", Partition: 0}, {Topic: "t", Partition: 1}}}},
+		{v2OpHeartbeat, &HeartbeatResp{Generation: 9}},
+	}
+}
+
+// TestV2RequestCodecRoundTrip proves every request message survives
+// encode → decode → re-encode byte-identically.
+func TestV2RequestCodecRoundTrip(t *testing.T) {
+	for _, m := range fuzzReqSeeds() {
+		enc := AppendRequestV2(nil, 42, m)
+		corr, op, got, err := decodeAnyRequestV2(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if corr != 42 || op != m.V2Op() {
+			t.Fatalf("%T: corr=%d op=%d", m, corr, op)
+		}
+		enc2 := AppendRequestV2(nil, corr, got)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%T: re-encode mismatch\n %x\n %x", m, enc, enc2)
+		}
+	}
+}
+
+// TestV2ResponseCodecRoundTrip proves every response message survives
+// encode → decode → re-encode byte-identically.
+func TestV2ResponseCodecRoundTrip(t *testing.T) {
+	for _, seed := range fuzzRespSeeds() {
+		enc := AppendResponseV2(nil, seed.op, 77, seed.m)
+		got := newRespMsg(seed.op)
+		op, corr, err := DecodeResponseV2(enc, got)
+		if err != nil {
+			t.Fatalf("op %d (%T): decode: %v", seed.op, seed.m, err)
+		}
+		if op != seed.op || corr != 77 {
+			t.Fatalf("op %d: got op=%d corr=%d", seed.op, op, corr)
+		}
+		enc2 := AppendResponseV2(nil, op, corr, got)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("op %d (%T): re-encode mismatch\n %x\n %x", seed.op, seed.m, enc, enc2)
+		}
+	}
+}
+
+// TestV2ErrorCodesRoundTrip proves every sentinel survives the compact
+// error-code encoding with errors.Is intact.
+func TestV2ErrorCodesRoundTrip(t *testing.T) {
+	sentinels := []error{
+		broker.ErrLeaderUnavailable,
+		broker.ErrNotEnoughReplicas,
+		broker.ErrStaleGeneration,
+		auth.ErrDenied,
+		auth.ErrBadCredentials,
+		cluster.ErrNoTopic,
+		eventlog.ErrOffsetOutOfRange,
+		broker.ErrNoPartition,
+		broker.ErrUnknownMember,
+		broker.ErrBrokerDown,
+	}
+	for _, want := range sentinels {
+		wrapped := fmt.Errorf("%w: partition 3 details", want)
+		enc := appendErrResponseV2(nil, v2OpFetch, 5, wrapped)
+		_, _, err := DecodeResponseV2(enc, nil)
+		if err == nil || !errors.Is(err, want) {
+			t.Fatalf("sentinel %v lost: decoded %v", want, err)
+		}
+	}
+	// Unclassified errors come back as plain errors with the detail.
+	enc := appendErrResponseV2(nil, v2OpPing, 1, errors.New("weird failure"))
+	_, _, err := DecodeResponseV2(enc, nil)
+	if err == nil || err.Error() != "weird failure" {
+		t.Fatalf("other-class error = %v", err)
+	}
+}
+
+// TestFetchRespDenseRuns pins the offset encoding: a gapless batch is a
+// single run (constant header size), gaps add runs, and Stamp
+// reproduces the exact per-event offsets either way.
+func TestFetchRespDenseRuns(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{5, 6, 7, 8},
+		{10, 11, 40, 41, 42, 99},        // compaction gaps
+		{3, 1, 2},                       // non-monotonic (defensive)
+		{100, 102, 104, 106, 108, 110},  // every event its own run
+	}
+	for _, offs := range cases {
+		evs := make([]event.Event, len(offs))
+		for i, o := range offs {
+			evs[i].Offset = o
+		}
+		var resp FetchResp
+		resp.NumEvents = len(evs)
+		resp.SetOffsets(evs)
+		enc := resp.AppendBody(nil)
+		var dec FetchResp
+		if err := dec.DecodeBody(enc); err != nil {
+			t.Fatalf("offsets %v: %v", offs, err)
+		}
+		got := make([]event.Event, len(offs))
+		dec.Stamp(got, "t", 1)
+		for i := range got {
+			if got[i].Offset != offs[i] {
+				t.Fatalf("offsets %v: event %d stamped %d", offs, i, got[i].Offset)
+			}
+			if got[i].Topic != "t" || got[i].Partition != 1 {
+				t.Fatalf("offsets %v: routing not stamped", offs)
+			}
+		}
+	}
+	// The dense case must not scale with batch size: 10k consecutive
+	// offsets encode as one run.
+	evs := make([]event.Event, 10000)
+	for i := range evs {
+		evs[i].Offset = int64(1_000_000 + i)
+	}
+	var resp FetchResp
+	resp.NumEvents = len(evs)
+	resp.SetOffsets(evs)
+	if n := len(resp.AppendBody(nil)); n > 32 {
+		t.Fatalf("dense 10k-event offset encoding took %d bytes", n)
+	}
+}
+
+// TestHeaderBoundIndependentOfPayloadBound is the MaxFrame-enforcement
+// regression test: a header length near the old shared cap must be
+// rejected before any allocation or read, on its own MaxHeader bound.
+func TestHeaderBoundIndependentOfPayloadBound(t *testing.T) {
+	// A frame claiming a 63 MiB header: under MaxFrame, far over
+	// MaxHeader. ReadHeader must reject it from the length alone.
+	frame := []byte{0x03, 0xf0, 0x00, 0x00} // 63 MiB, big endian
+	var req Request
+	err := ReadHeader(trackedReader{bytes.NewReader(frame)}, &req)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("63 MiB header accepted: %v", err)
+	}
+	// Write side: an over-sized header is refused symmetrically.
+	var buf bytes.Buffer
+	big := &Request{Op: OpProduce, Topic: strings.Repeat("x", MaxHeader+1)}
+	if err := WriteFrame(&buf, big, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized header written: %v", err)
+	}
+	// Payloads keep their own, larger bound.
+	if err := WriteFrame(&buf, &Request{Op: OpPing}, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized payload written: %v", err)
+	}
+}
+
+// trackedReader fails the read itself if more than the 4-byte length
+// prefix is consumed — proving rejection happens before any header
+// read.
+type trackedReader struct{ r io.Reader }
+
+func (t trackedReader) Read(p []byte) (int, error) {
+	if len(p) > 4 {
+		return 0, errors.New("read past the length prefix of a rejected header")
+	}
+	return t.r.Read(p)
+}
+
+// TestNegotiationSelectsV2 pins the happy-path handshake: current
+// client against current server lands on protocol v2.
+func TestNegotiationSelectsV2(t *testing.T) {
+	_, addr, stop := startServer(t, true)
+	defer stop()
+	c, err := DialAnonymous(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ProtocolVersion(); v != ProtocolV2 {
+		t.Fatalf("negotiated v%d, want v%d", v, ProtocolV2)
+	}
+}
+
+// FuzzDecodeRequestV2 feeds arbitrary bytes to the server-side request
+// decoder: it must never panic, and any header it accepts must
+// round-trip byte-identically through re-encode → decode → re-encode.
+func FuzzDecodeRequestV2(f *testing.F) {
+	for _, m := range fuzzReqSeeds() {
+		f.Add(AppendRequestV2(nil, 7, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{v2OpFetch})
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		corr, op, m, err := decodeAnyRequestV2(b)
+		if err != nil {
+			return // malformed input correctly rejected
+		}
+		enc := AppendRequestV2(nil, corr, m)
+		m2 := newReqMsg(op)
+		corr2, err := DecodeRequestV2(enc, m2)
+		if err != nil {
+			t.Fatalf("canonical re-decode failed: %v", err)
+		}
+		if corr2 != corr {
+			t.Fatalf("corr %d → %d", corr, corr2)
+		}
+		if enc2 := AppendRequestV2(nil, corr2, m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable round trip\n %x\n %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeResponseV2 is FuzzDecodeRequestV2 for the client-side
+// response decoder, covering both success bodies and error codes.
+func FuzzDecodeResponseV2(f *testing.F) {
+	for _, seed := range fuzzRespSeeds() {
+		f.Add(AppendResponseV2(nil, seed.op, 7, seed.m))
+	}
+	f.Add(appendErrResponseV2(nil, v2OpFetch, 9, fmt.Errorf("%w: gone", broker.ErrLeaderUnavailable)))
+	f.Add([]byte{})
+	f.Add([]byte{v2OpFetch, 200, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		op, code, corr, body, err := decodeRespPrefixV2(b)
+		if err != nil {
+			return
+		}
+		if code != codeOK {
+			detail, _, derr := getStr(body)
+			if derr != nil {
+				return
+			}
+			if e := errFromCode(code, detail); e == nil {
+				t.Fatal("error code decoded to nil error")
+			}
+			return
+		}
+		m := newRespMsg(op)
+		if m == nil {
+			return // unknown op: the client matches ops itself
+		}
+		if err := m.DecodeBody(body); err != nil {
+			return
+		}
+		enc := AppendResponseV2(nil, op, corr, m)
+		m2 := newRespMsg(op)
+		op2, corr2, err := DecodeResponseV2(enc, m2)
+		if err != nil {
+			t.Fatalf("canonical re-decode failed: %v", err)
+		}
+		if op2 != op || corr2 != corr {
+			t.Fatalf("prefix drift: op %d→%d corr %d→%d", op, op2, corr, corr2)
+		}
+		if enc2 := AppendResponseV2(nil, op2, corr2, m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable round trip\n %x\n %x", enc, enc2)
+		}
+	})
+}

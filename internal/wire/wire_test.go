@@ -314,10 +314,14 @@ func TestClientReconnectsAfterConnectionDrop(t *testing.T) {
 	if _, err := c.Produce("", "r", 0, []event.Event{{Value: []byte("a")}}, broker.AcksLeader); err != nil {
 		t.Fatal(err)
 	}
-	// Sever the connection out from under the client; the next call
-	// reconnects transparently.
+	// Sever every pool connection out from under the client; the next
+	// call reconnects transparently.
 	c.mu.Lock()
-	c.wc.conn.Close()
+	for _, wc := range c.slots {
+		if wc != nil {
+			wc.conn.Close()
+		}
+	}
 	c.mu.Unlock()
 	if _, err := c.Produce("", "r", 0, []event.Event{{Value: []byte("b")}}, broker.AcksLeader); err != nil {
 		t.Fatalf("produce after drop: %v", err)

@@ -6,6 +6,7 @@
 //	octopus-bench -figure 4       # trigger autoscaling run
 //	octopus-bench -table cost     # §VII-C cost analysis
 //	octopus-bench -real           # reduced-scale run on the real fabric
+//	octopus-bench -stream         # consume-transport comparison (PR 2-4)
 package main
 
 import (
@@ -23,10 +24,11 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 3, 4, 5, 7, 8, triggers")
 	all := flag.Bool("all", false, "regenerate everything")
 	real := flag.Bool("real", false, "also run the reduced-scale real-fabric shape check")
+	stream := flag.Bool("stream", false, "compare request/response, pipelined and streaming consume over an emulated remote link")
 	csvDir := flag.String("csv", "", "export every artifact as CSV into this directory")
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" && !*real && *csvDir == "" {
+	if !*all && *table == "" && *figure == "" && !*real && !*stream && *csvDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -76,6 +78,9 @@ func main() {
 	}
 	if *real {
 		runReal()
+	}
+	if *stream {
+		runStreamBench()
 	}
 }
 

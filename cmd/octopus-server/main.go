@@ -77,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("wire listen: %v", err)
 	}
-	log.Printf("wire endpoint%s on %s (protocol v1-v%d, v2 negotiated per connection)", mode, addr, wire.MaxProtocol)
+	log.Printf("wire endpoint%s on %s (protocol v1-v%d, v2 + streaming fetch negotiated per connection)", mode, addr, wire.MaxProtocol)
 
 	go func() {
 		log.Printf("web service on http://%s", *httpAddr)

@@ -409,7 +409,35 @@ func (f *Fabric) fetch(identity, topic string, partition int, offset int64, maxE
 	return FetchResult{Events: evs, HighWatermark: pr.log.EndOffset(), StartOffset: pr.log.StartOffset()}, nil
 }
 
-func (f *Fabric) leaderLog(topic string, partition int) (*eventlog.Log, error) {
+// FetchWaitInto is FetchInto with a long-poll: when the partition has
+// nothing at offset, it parks on the leader log's tail waiter for up to
+// wait (or until stop closes) and retries once after waking — one
+// blocked goroutine instead of a fetch loop against an empty partition.
+// A wait of zero degenerates to FetchInto. The wire server's streaming
+// fetch pumps and WaitMaxMS long-polls, and the Direct transport's
+// long-poll extension, all ride this.
+func (f *Fabric) FetchWaitInto(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, stop <-chan struct{}, dst []event.Event) (FetchResult, error) {
+	res, err := f.fetch(identity, topic, partition, offset, maxEvents, maxBytes, dst)
+	if err != nil || len(res.Events) > 0 || wait <= 0 {
+		return res, err
+	}
+	pr, err := f.partitionRoute(topic, partition)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	end, werr := pr.log.WaitAppend(offset, wait, stop)
+	if werr != nil || end <= offset {
+		// Log closed, timeout, or stop: report the empty result; the
+		// caller's next poll (or teardown) takes it from here.
+		return res, nil
+	}
+	return f.fetch(identity, topic, partition, offset, maxEvents, maxBytes, dst)
+}
+
+// LeaderLog returns the leader replica's log for a partition — the
+// handle behind fetch-side offset queries, exported so tests and tools
+// can probe log-level state (read counts, tail waiters) directly.
+func (f *Fabric) LeaderLog(topic string, partition int) (*eventlog.Log, error) {
 	pr, err := f.partitionRoute(topic, partition)
 	if err != nil {
 		return nil, err
@@ -420,7 +448,7 @@ func (f *Fabric) leaderLog(topic string, partition int) (*eventlog.Log, error) {
 // EndOffset returns the partition's end offset (the next offset to be
 // assigned), i.e. the "latest" consume position.
 func (f *Fabric) EndOffset(topic string, partition int) (int64, error) {
-	l, err := f.leaderLog(topic, partition)
+	l, err := f.LeaderLog(topic, partition)
 	if err != nil {
 		return 0, err
 	}
@@ -429,7 +457,7 @@ func (f *Fabric) EndOffset(topic string, partition int) (int64, error) {
 
 // StartOffset returns the earliest retained offset.
 func (f *Fabric) StartOffset(topic string, partition int) (int64, error) {
-	l, err := f.leaderLog(topic, partition)
+	l, err := f.LeaderLog(topic, partition)
 	if err != nil {
 		return 0, err
 	}
@@ -439,7 +467,7 @@ func (f *Fabric) StartOffset(topic string, partition int) (int64, error) {
 // OffsetForTime returns the first offset at or after t (§IV-F: consume
 // "after a certain timestamp").
 func (f *Fabric) OffsetForTime(topic string, partition int, t time.Time) (int64, error) {
-	l, err := f.leaderLog(topic, partition)
+	l, err := f.LeaderLog(topic, partition)
 	if err != nil {
 		return 0, err
 	}

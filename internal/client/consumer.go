@@ -54,6 +54,18 @@ type ConsumerConfig struct {
 	// BufferedFetcher transport (Direct and the wire client both are);
 	// ignored otherwise.
 	Prefetch bool
+	// PollWait long-polls: a Poll that finds every assigned partition
+	// empty blocks up to this long on the next round-robin partition —
+	// through the transport's WaitFetcher extension (Direct and the wire
+	// client both park on the server's tail waiters; streaming-fetch
+	// connections park on the local frame queue) — instead of returning
+	// empty immediately, so an idle consumer costs a blocked goroutine
+	// rather than a fetch loop. Zero keeps Poll non-blocking. With
+	// multiple assigned partitions, data appended to a partition other
+	// than the one being waited on is picked up by the next Poll, so
+	// worst-case extra latency is one PollWait. Note that Commit/Seek
+	// from other goroutines block while a Poll is waiting.
+	PollWait time.Duration
 	// CommitInterval throttles auto-commits: positions commit at most
 	// once per interval (§IV-F: "the commit window is adjustable").
 	// Zero commits on every poll.
@@ -100,6 +112,7 @@ func nextMemberID() string {
 type Consumer struct {
 	t   Transport
 	bf  BufferedFetcher // t's buffered-fetch extension, nil if absent
+	wf  WaitFetcher     // t's long-poll extension, nil if absent
 	cfg ConsumerConfig
 
 	mu         sync.Mutex
@@ -140,8 +153,9 @@ func NewConsumer(t Transport, cfg ConsumerConfig) *Consumer {
 		cfg.MemberID = nextMemberID()
 	}
 	bf, _ := t.(BufferedFetcher)
+	wf, _ := t.(WaitFetcher)
 	return &Consumer{
-		t: t, bf: bf, cfg: cfg,
+		t: t, bf: bf, wf: wf, cfg: cfg,
 		positions: make(map[broker.TP]int64),
 		sessions:  make(map[broker.TP]*fetchSession),
 	}
@@ -270,38 +284,61 @@ func (c *Consumer) pollLocked(max int) ([]event.Event, error) {
 	n := len(c.assigned)
 	for i := 0; i < n && len(out) < max; i++ {
 		tp := c.assigned[(c.rr+i)%n]
-		pos := c.positions[tp]
-		res, err := c.fetchPartition(tp, pos, max-len(out))
+		res, err := c.fetchOne(tp, max-len(out), 0)
 		if err != nil {
-			if errors.Is(err, broker.ErrLeaderUnavailable) {
-				continue // partition failing over; try again next poll
-			}
-			// Position below retention start: jump forward.
-			if res2, serr := c.recoverOutOfRange(tp, err); serr == nil {
-				res = res2
-			} else {
-				c.pollBuf = out
-				return out, err
-			}
+			c.pollBuf = out
+			return out, err
 		}
 		out = append(out, res.Events...)
-		if len(res.Events) > 0 {
-			last := res.Events[len(res.Events)-1]
-			c.positions[tp] = last.Offset + 1
-			c.maybePrefetch(tp)
-		}
 	}
 	if n > 0 {
 		c.rr = (c.rr + 1) % n
+	}
+	if len(out) == 0 && n > 0 && c.cfg.PollWait > 0 && c.wf != nil {
+		// Every partition came back empty: long-poll the next
+		// round-robin partition instead of returning an empty slice the
+		// caller would immediately re-Poll. Successive polls rotate rr,
+		// so every assigned partition gets waited on in turn.
+		res, err := c.fetchOne(c.assigned[c.rr], max, c.cfg.PollWait)
+		if err != nil {
+			c.pollBuf = out
+			return out, err
+		}
+		out = append(out, res.Events...)
 	}
 	c.pollBuf = out
 	return out, nil
 }
 
+// fetchOne fetches one partition at its current position, advancing the
+// position and kicking a prefetch when events arrive. Leader failover
+// yields an empty result (retried next poll); a position below the
+// retention start jumps forward.
+func (c *Consumer) fetchOne(tp broker.TP, max int, wait time.Duration) (broker.FetchResult, error) {
+	pos := c.positions[tp]
+	res, err := c.fetchPartition(tp, pos, max, wait)
+	if err != nil {
+		if errors.Is(err, broker.ErrLeaderUnavailable) {
+			return broker.FetchResult{}, nil // failing over; try next poll
+		}
+		res2, serr := c.recoverOutOfRange(tp, err)
+		if serr != nil {
+			return broker.FetchResult{}, err
+		}
+		res = res2
+	}
+	if len(res.Events) > 0 {
+		last := res.Events[len(res.Events)-1]
+		c.positions[tp] = last.Offset + 1
+		c.maybePrefetch(tp)
+	}
+	return res, nil
+}
+
 // fetchPartition fetches one partition at pos, through the zero-copy
 // session when the transport supports it — adopting an in-flight
 // prefetch's result when it matches the position.
-func (c *Consumer) fetchPartition(tp broker.TP, pos int64, max int) (broker.FetchResult, error) {
+func (c *Consumer) fetchPartition(tp broker.TP, pos int64, max int, wait time.Duration) (broker.FetchResult, error) {
 	if c.bf == nil {
 		return c.t.Fetch(c.cfg.Identity, tp.Topic, tp.Partition, pos, max, c.cfg.ReceiveBufferBytes)
 	}
@@ -309,9 +346,11 @@ func (c *Consumer) fetchPartition(tp broker.TP, pos int64, max int) (broker.Fetc
 	if s.pending != nil {
 		r := <-s.pending
 		s.pending = nil
-		if r.err == nil && s.preOff == pos {
+		if r.err == nil && s.preOff == pos && (len(r.res.Events) > 0 || wait <= 0) {
 			// The prefetch landed exactly where this poll reads: swap its
-			// buffer in and serve it without touching the transport.
+			// buffer in and serve it without touching the transport. (An
+			// empty prefetch result does not satisfy a waiting poll —
+			// fall through so the wait actually blocks.)
 			s.buf, s.pre = s.pre, s.buf
 			res := r.res
 			if len(res.Events) > max {
@@ -324,6 +363,9 @@ func (c *Consumer) fetchPartition(tp broker.TP, pos int64, max int) (broker.Fetc
 		}
 		// Stale (seek, rebalance) or failed prefetch: fall through to a
 		// fresh fetch.
+	}
+	if wait > 0 && c.wf != nil {
+		return c.wf.FetchBufferedWait(c.cfg.Identity, tp.Topic, tp.Partition, pos, max, c.cfg.ReceiveBufferBytes, wait, &s.buf)
 	}
 	return c.bf.FetchBuffered(c.cfg.Identity, tp.Topic, tp.Partition, pos, max, c.cfg.ReceiveBufferBytes, &s.buf)
 }

@@ -58,6 +58,19 @@ type BufferedFetcher interface {
 	FetchBuffered(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error)
 }
 
+// WaitFetcher is an optional Transport extension for long-poll
+// consumption: a fetch that finds the partition empty blocks up to wait
+// for an append instead of returning immediately, so idle consumers
+// stop burning CPU (and, over the wire, round trips) re-polling empty
+// partitions. Implementations park on the partition log's tail waiter
+// (Direct) or on the negotiated wire mechanism — FetchReq.WaitMaxMS
+// long-polls or a streaming-fetch session's frame queue (wire.Client).
+// The consumer uses it when ConsumerConfig.PollWait is set.
+type WaitFetcher interface {
+	BufferedFetcher
+	FetchBufferedWait(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error)
+}
+
 // Direct is the in-process Transport over a fabric.
 type Direct struct{ Fabric *broker.Fabric }
 
@@ -80,6 +93,17 @@ func (d *Direct) Fetch(identity, topic string, partition int, offset int64, maxE
 // buf.Arena is untouched.
 func (d *Direct) FetchBuffered(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error) {
 	res, err := d.Fabric.FetchInto(identity, topic, partition, offset, maxEvents, maxBytes, buf.Events[:0])
+	if err != nil {
+		return res, err
+	}
+	buf.Events = res.Events
+	return res, nil
+}
+
+// FetchBufferedWait implements WaitFetcher: an empty fetch parks on the
+// partition log's tail waiter up to wait.
+func (d *Direct) FetchBufferedWait(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	res, err := d.Fabric.FetchWaitInto(identity, topic, partition, offset, maxEvents, maxBytes, wait, nil, buf.Events[:0])
 	if err != nil {
 		return res, err
 	}

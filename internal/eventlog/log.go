@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
@@ -109,6 +110,15 @@ type Log struct {
 	next   int64
 	bytes  int64
 	closed bool
+	// waitCh is the tail-waiter broadcast channel: lazily created by the
+	// first WaitAppend that finds no data, closed (waking every waiter)
+	// by the next append or by Close. One channel serves any number of
+	// waiters, and an idle log with no waiters carries none at all.
+	waitCh chan struct{}
+	// reads counts ReadBudgetInto calls — the probe the long-poll
+	// regression tests use to prove an idle consumer performs no log
+	// reads between appends.
+	reads atomic.Int64
 }
 
 // New creates an empty log with the given configuration.
@@ -152,6 +162,7 @@ func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 	}
 	off := l.next
 	l.appendLocked(ev, now)
+	l.notifyLocked()
 	return off, nil
 }
 
@@ -167,8 +178,76 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 	for i := range evs {
 		l.appendLocked(evs[i], now)
 	}
+	if len(evs) > 0 {
+		l.notifyLocked()
+	}
 	return first, nil
 }
+
+// notifyLocked wakes every tail waiter. Callers hold l.mu and have just
+// appended (or are closing the log). One broadcast per batch, not per
+// record: waiters re-check the end offset themselves.
+func (l *Log) notifyLocked() {
+	if l.waitCh != nil {
+		close(l.waitCh)
+		l.waitCh = nil
+	}
+}
+
+// WaitAppend blocks until the log end advances past offset (data is
+// readable at offset), the timeout elapses, or stop is closed. It
+// returns the current end offset; callers distinguish the outcomes by
+// comparing it to offset. A nil stop channel never fires. Closing the
+// log fails all waiters with ErrClosed.
+//
+// This is the tail-waiter primitive behind the wire server's streaming
+// fetch pumps and long-poll fetches: an idle consumer parks here
+// instead of re-reading an empty partition in a loop, so the idle cost
+// of a subscribed partition is one blocked goroutine, not a poll churn.
+func (l *Log) WaitAppend(offset int64, timeout time.Duration, stop <-chan struct{}) (int64, error) {
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0, ErrClosed
+		}
+		if l.next > offset {
+			end := l.next
+			l.mu.Unlock()
+			return end, nil
+		}
+		if l.waitCh == nil {
+			l.waitCh = make(chan struct{})
+		}
+		ch := l.waitCh
+		l.mu.Unlock()
+		if timer == nil {
+			if timeout <= 0 {
+				return offset, nil
+			}
+			timer = time.NewTimer(timeout)
+			timeoutCh = timer.C
+		}
+		select {
+		case <-ch:
+		case <-timeoutCh:
+			return l.EndOffset(), nil
+		case <-stop:
+			return l.EndOffset(), nil
+		}
+	}
+}
+
+// Reads reports the cumulative number of read calls served by the log —
+// a test probe for asserting that blocked consumers are not busy-polling.
+func (l *Log) Reads() int64 { return l.reads.Load() }
 
 // findSegment returns the index of the first segment that may contain
 // records at or above offset: the last segment with baseOffset <= offset,
@@ -223,6 +302,7 @@ func (l *Log) ReadBudget(offset int64, max, maxBytes int) ([]event.Event, error)
 // on every poll. Returned events alias the log's records, as with
 // ReadBudget. A nil dst behaves exactly like ReadBudget.
 func (l *Log) ReadBudgetInto(offset int64, max, maxBytes int, dst []event.Event) ([]event.Event, error) {
+	l.reads.Add(1)
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.closed {
@@ -422,11 +502,13 @@ func (l *Log) Compact() int {
 	return removed
 }
 
-// Close marks the log closed; subsequent operations fail with ErrClosed.
+// Close marks the log closed; subsequent operations fail with ErrClosed
+// and blocked tail waiters wake immediately.
 func (l *Log) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true
+	l.notifyLocked()
 }
 
 // searchRecords returns the index of the first record with offset >= off.

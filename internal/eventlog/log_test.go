@@ -394,3 +394,146 @@ func TestCompactionPreservesReadAfterRetention(t *testing.T) {
 		t.Fatalf("latest values = %v", vals)
 	}
 }
+
+// --- tail waiters (PR 4) ---
+
+// TestWaitAppendReturnsImmediatelyWhenDataAvailable: a wait below the
+// end offset never blocks.
+func TestWaitAppendReturnsImmediatelyWhenDataAvailable(t *testing.T) {
+	l := New(Config{})
+	for i := 0; i < 3; i++ {
+		l.Append(ev(fmt.Sprintf("e%d", i)), t0)
+	}
+	start := time.Now()
+	end, err := l.WaitAppend(1, 5*time.Second, nil)
+	if err != nil || end != 3 {
+		t.Fatalf("WaitAppend = %d, %v", end, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("WaitAppend blocked with data available")
+	}
+}
+
+// TestWaitAppendWakesOnAppend: waiters parked at the tail wake when a
+// record arrives, and every concurrent waiter observes it.
+func TestWaitAppendWakesOnAppend(t *testing.T) {
+	l := New(Config{})
+	l.Append(ev("a"), t0)
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]int64, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			end, err := l.WaitAppend(1, 5*time.Second, nil)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = end
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	l.Append(ev("b"), t0)
+	wg.Wait()
+	for i, end := range results {
+		if end != 2 {
+			t.Fatalf("waiter %d woke with end %d, want 2", i, end)
+		}
+	}
+}
+
+// TestWaitAppendTimeout: a wait on a dry log returns at the deadline
+// with the unchanged end offset and no error.
+func TestWaitAppendTimeout(t *testing.T) {
+	l := New(Config{})
+	start := time.Now()
+	end, err := l.WaitAppend(0, 50*time.Millisecond, nil)
+	if err != nil || end != 0 {
+		t.Fatalf("WaitAppend = %d, %v", end, err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("timeout fired after %v", d)
+	}
+}
+
+// TestWaitAppendStopChannel: closing the stop channel releases the
+// waiter before the timeout.
+func TestWaitAppendStopChannel(t *testing.T) {
+	l := New(Config{})
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(stop)
+	}()
+	start := time.Now()
+	if _, err := l.WaitAppend(0, 10*time.Second, stop); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stop channel did not release the waiter")
+	}
+}
+
+// TestWaitAppendCloseFailsWaiters: Close wakes parked waiters with
+// ErrClosed instead of leaving them blocked.
+func TestWaitAppendCloseFailsWaiters(t *testing.T) {
+	l := New(Config{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.WaitAppend(0, 10*time.Second, nil)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close left the waiter parked")
+	}
+}
+
+// TestWaitAppendBatchWakes: AppendBatch notifies once per batch and the
+// waiter sees the full batch.
+func TestWaitAppendBatchWakes(t *testing.T) {
+	l := New(Config{})
+	done := make(chan int64, 1)
+	go func() {
+		end, _ := l.WaitAppend(0, 5*time.Second, nil)
+		done <- end
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := l.AppendBatch([]event.Event{ev("a"), ev("b"), ev("c")}, t0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case end := <-done:
+		if end != 3 {
+			t.Fatalf("woke with end %d, want 3", end)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch append did not wake the waiter")
+	}
+}
+
+// TestReadsCounter: the read probe counts ReadBudgetInto calls across
+// every read entry point.
+func TestReadsCounter(t *testing.T) {
+	l := New(Config{})
+	l.Append(ev("a"), t0)
+	if n := l.Reads(); n != 0 {
+		t.Fatalf("fresh log reports %d reads", n)
+	}
+	if _, err := l.Read(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadBytes(0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Reads(); n != 2 {
+		t.Fatalf("Reads = %d, want 2", n)
+	}
+}

@@ -39,6 +39,20 @@ type Options struct {
 	// (default MaxProtocol). Setting it to ProtocolV1 skips negotiation
 	// entirely, reproducing a legacy client.
 	MaxVersion int
+	// DisableStreaming masks FeatStreamFetch out of negotiation: the
+	// client consumes via pipelined request/response fetch even against
+	// streaming-capable servers. Used by interop tests and same-run
+	// benchmark baselines.
+	DisableStreaming bool
+}
+
+// features is the feature set this client offers in negotiation.
+func (o *Options) features() uint32 {
+	feats := allFeatures
+	if o.DisableStreaming {
+		feats &^= FeatStreamFetch
+	}
+	return feats
 }
 
 func (o *Options) fill() {
@@ -100,6 +114,10 @@ type call struct {
 	// which is what makes the consumer's fetch session reuse work over
 	// the wire.
 	arena []byte
+	// oneway marks a request with no response (stream credit grants and
+	// closes): the writer completes it right after its bytes leave,
+	// without registering a pending correlation entry.
+	oneway bool
 	// resp is the typed response target, decoded from the v2 body or
 	// filled from the v1 header; nil discards the body.
 	resp respMsg
@@ -145,6 +163,19 @@ type wireConn struct {
 	pending  map[uint64]*call
 	nextCorr uint64
 	err      error // sticky: first failure wins
+	// done is closed by fail (after err is set): stream consumers and
+	// long-poll waiters park on it instead of polling the sticky error.
+	done chan struct{}
+
+	// Stream sessions (FeatStreamFetch), keyed both by the server-facing
+	// stream ID (reader dispatch) and by topic-partition (fetch lookup).
+	streamMu     sync.Mutex
+	streamsByID  map[uint64]*clientStream
+	streamsByTP  map[streamKey]*clientStream
+	nextStreamID uint64
+	// noStreams latches when the server refuses a stream open despite
+	// negotiation, pinning this connection to request/response fetch.
+	noStreams bool
 }
 
 // Dial connects and authenticates with an access key/secret.
@@ -182,6 +213,22 @@ func (c *Client) ProtocolVersion() int {
 			v := wc.version
 			wc.mu.Unlock()
 			return v
+		}
+	}
+	return 0
+}
+
+// Features reports the feature bitmask negotiated with the server (0
+// for v1 peers or before any connection is established).
+func (c *Client) Features() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.slots {
+		if wc != nil {
+			wc.mu.Lock()
+			f := wc.features
+			wc.mu.Unlock()
+			return f
 		}
 	}
 	return 0
@@ -277,6 +324,7 @@ func (c *Client) connect() (*wireConn, error) {
 		rd:      bufio.NewReaderSize(conn, 64<<10),
 		version: ProtocolV1,
 		pending: make(map[uint64]*call),
+		done:    make(chan struct{}),
 	}
 	wc.cond = sync.NewCond(&wc.mu)
 	go wc.writeLoop()
@@ -287,7 +335,7 @@ func (c *Client) connect() (*wireConn, error) {
 	// error, which means "speak v1".
 	if c.opts.MaxVersion >= ProtocolV2 {
 		ncl := &call{
-			rawV1: &Request{Op: OpNegotiate, MaxVersion: c.opts.MaxVersion, Features: allFeatures},
+			rawV1: &Request{Op: OpNegotiate, MaxVersion: c.opts.MaxVersion, Features: c.opts.features()},
 			done:  make(chan struct{}),
 		}
 		if err := wc.do(ncl); err != nil {
@@ -297,7 +345,7 @@ func (c *Client) connect() (*wireConn, error) {
 		if ncl.srvErr == nil && ncl.v1resp.Version >= ProtocolV2 {
 			wc.mu.Lock()
 			wc.version = ProtocolV2
-			wc.features = ncl.v1resp.Features & allFeatures
+			wc.features = ncl.v1resp.Features & c.opts.features()
 			wc.mu.Unlock()
 		}
 	}
@@ -367,6 +415,25 @@ func (wc *wireConn) do(cl *call) error {
 	return cl.err
 }
 
+// sendOneway enqueues a request with no response (stream credit grants
+// and closes) without blocking for its write: flow-control traffic must
+// never stall the consumer behind the writer.
+func (wc *wireConn) sendOneway(req ReqMsg) error {
+	cl := &call{op: req.V2Op(), req: req, oneway: true, done: make(chan struct{})}
+	wc.mu.Lock()
+	if wc.err != nil {
+		err := wc.err
+		wc.mu.Unlock()
+		return err
+	}
+	wc.nextCorr++
+	cl.corr = wc.nextCorr
+	wc.queue = append(wc.queue, cl)
+	wc.cond.Signal()
+	wc.mu.Unlock()
+	return nil
+}
+
 // fail marks the connection broken and fans the error out to every
 // pending caller. Queued-but-unwritten calls are completed by the writer
 // on its way out (it is the only goroutine that touches their payloads).
@@ -381,6 +448,9 @@ func (wc *wireConn) fail(err error) {
 	pending := wc.pending
 	wc.pending = make(map[uint64]*call)
 	wc.cond.Broadcast()
+	// err is visible before done closes: stream consumers woken by done
+	// always observe the sticky error.
+	close(wc.done)
 	wc.mu.Unlock()
 	wc.conn.Close()
 	for _, cl := range pending {
@@ -464,15 +534,34 @@ func (wc *wireConn) writeLoop() {
 			}
 			return
 		}
+		expectResp := false
 		for _, cl := range written {
+			if cl.oneway {
+				continue
+			}
 			wc.pending[cl.corr] = cl
+			expectResp = true
 		}
-		// A response must arrive within IOTimeout of the last write.
+		// A response must arrive within IOTimeout of the last write —
+		// unless everything written was one-way (credit grants on an
+		// otherwise idle stream connection), where no response is owed
+		// and an armed read deadline would kill a healthy idle link.
 		_ = wc.conn.SetWriteDeadline(time.Now().Add(IOTimeout))
-		_ = wc.conn.SetReadDeadline(time.Now().Add(IOTimeout))
+		if expectResp {
+			_ = wc.conn.SetReadDeadline(time.Now().Add(IOTimeout))
+		}
 		wc.mu.Unlock()
-		if _, err := wc.conn.Write(buf); err != nil {
-			wc.fail(err)
+		_, werr := wc.conn.Write(buf)
+		for _, cl := range written {
+			// One-way calls complete at write time, success or failure;
+			// they are never in pending, so fail() cannot reach them.
+			if cl.oneway {
+				cl.err = werr
+				close(cl.done)
+			}
+		}
+		if werr != nil {
+			wc.fail(werr)
 			// Loop back: the top of the loop drains remaining queued
 			// calls with the failure.
 		}
@@ -507,6 +596,16 @@ func (wc *wireConn) readLoop() {
 			if op, code, corr, body, err = decodeRespPrefixV2(hb); err != nil {
 				wc.fail(err)
 				return
+			}
+			if op == v2OpStreamBatch || op == v2OpStreamClose {
+				// Server-pushed stream frame: corr is the stream ID, not a
+				// pending correlation entry. Routed straight to the stream's
+				// frame queue (payload included); never touches pending.
+				if err := wc.handleStreamPush(op, code, corr, body); err != nil {
+					wc.fail(err)
+					return
+				}
+				continue
 			}
 		} else {
 			if err := json.Unmarshal(hb, &v1resp); err != nil {
@@ -666,15 +765,63 @@ func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxE
 }
 
 // FetchBuffered implements the SDK consumer's buffered-fetch extension
-// (client.BufferedFetcher): the response payload is read directly into
-// buf.Arena by the reader goroutine and decoded into buf.Events, so a
-// steady-state poll reuses one receive buffer instead of allocating a
-// frame and an event slice per fetch. Returned events alias buf.Arena
-// and are valid until the buffer's next use.
+// (client.BufferedFetcher). When the connection negotiated
+// FeatStreamFetch, the call is served from a per-partition stream the
+// server pushes into — zero request round trips at steady state; see
+// streamclient.go. Otherwise (v1 peers, stream-disabled servers) the
+// response payload is read directly into buf.Arena by the reader
+// goroutine and decoded into buf.Events, so a steady-state poll reuses
+// one receive buffer instead of allocating a frame and an event slice
+// per fetch. Either way, returned events are valid until the next
+// fetch on this topic-partition.
 func (c *Client) FetchBuffered(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int, buf *broker.FetchBuffer) (broker.FetchResult, error) {
-	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
+	return c.fetchBuffered(topic, partition, offset, maxEvents, maxBytes, 0, buf)
+}
+
+// FetchBufferedWait implements the SDK's long-poll extension
+// (client.WaitFetcher): an empty fetch blocks up to wait for data. On a
+// stream connection the wait parks on the local frame queue; on the
+// request/response path it rides FetchReq.WaitMaxMS to the server's
+// tail waiter. Either way an idle consumer stops hot-looping.
+func (c *Client) FetchBufferedWait(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	return c.fetchBuffered(topic, partition, offset, maxEvents, maxBytes, wait, buf)
+}
+
+func (c *Client) fetchBuffered(topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	slot := c.slotFor(topic, partition)
+	wc, err := c.conn(slot)
+	if err != nil {
+		return broker.FetchResult{}, err
+	}
+	if wc.streamingEnabled() {
+		res, serr, handled := c.fetchStream(wc, topic, partition, offset, maxEvents, maxBytes, wait)
+		if handled {
+			if serr != nil && !errors.Is(serr, ErrConnClosed) && wc.errNow() != nil {
+				// Transport failure mid-stream: mirror call()'s single
+				// retry over a fresh connection.
+				wc2, rerr := c.reconnect(slot, wc)
+				if rerr != nil {
+					return broker.FetchResult{}, serr
+				}
+				if wc2.streamingEnabled() {
+					if res2, serr2, handled2 := c.fetchStream(wc2, topic, partition, offset, maxEvents, maxBytes, wait); handled2 {
+						return res2, serr2
+					}
+				}
+				return c.plainFetchBuffered(slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
+			}
+			return res, serr
+		}
+	}
+	return c.plainFetchBuffered(slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
+}
+
+// plainFetchBuffered is the request/response buffered fetch (protocol
+// v1 and v2 without streaming).
+func (c *Client) plainFetchBuffered(slot int, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes, WaitMaxMS: int(wait / time.Millisecond)}
 	var resp FetchResp
-	cl, err := c.call(c.slotFor(topic, partition), &req, &resp, nil, buf.Arena[:0])
+	cl, err := c.call(slot, &req, &resp, nil, buf.Arena[:0])
 	if err != nil {
 		return broker.FetchResult{}, err
 	}

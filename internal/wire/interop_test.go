@@ -21,6 +21,14 @@ import (
 // harness: every version pairing must pass the identical suite.
 func runWireSuite(t *testing.T, serverMax, clientMax, wantVersion int) {
 	t.Helper()
+	runWireSuiteStreaming(t, serverMax, clientMax, wantVersion, false, false)
+}
+
+// runWireSuiteStreaming is runWireSuite with streaming fetch optionally
+// masked out of negotiation on either side — every event still arrives
+// through the request/response fallback.
+func runWireSuiteStreaming(t *testing.T, serverMax, clientMax, wantVersion int, serverNoStream, clientNoStream bool) {
+	t.Helper()
 	f := broker.NewFabric(nil)
 	if err := f.AddBrokers(2, 2, 8); err != nil {
 		t.Fatal(err)
@@ -31,19 +39,24 @@ func runWireSuite(t *testing.T, serverMax, clientMax, wantVersion int) {
 	s := NewServer(f)
 	s.AllowAnonymous = true
 	s.MaxVersion = serverMax
+	s.DisableStreaming = serverNoStream
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 
-	c, err := DialOptions(addr, Options{Anonymous: true, MaxVersion: clientMax, PoolSize: 2})
+	c, err := DialOptions(addr, Options{Anonymous: true, MaxVersion: clientMax, PoolSize: 2, DisableStreaming: clientNoStream})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	if v := c.ProtocolVersion(); v != wantVersion {
 		t.Fatalf("negotiated v%d, want v%d (server max %d, client max %d)", v, wantVersion, serverMax, clientMax)
+	}
+	wantStream := wantVersion >= ProtocolV2 && !serverNoStream && !clientNoStream
+	if gotStream := c.Features()&FeatStreamFetch != 0; gotStream != wantStream {
+		t.Fatalf("streaming negotiated = %v, want %v", gotStream, wantStream)
 	}
 
 	// SDK producer: batched, keyed, flushed.
@@ -147,7 +160,22 @@ func TestInteropV1ClientV2Server(t *testing.T) {
 	runWireSuite(t, ProtocolV2, ProtocolV1, ProtocolV1)
 }
 
-// TestInteropV2V2 anchors the same suite on the all-current pairing.
+// TestInteropV2V2 anchors the same suite on the all-current pairing
+// (streaming fetch negotiated and active).
 func TestInteropV2V2(t *testing.T) {
 	runWireSuite(t, ProtocolV2, ProtocolV2, ProtocolV2)
+}
+
+// TestInteropStreamingOffServerSide: a current client against a v2
+// server that masked streaming out of negotiation falls back to
+// pipelined request/response fetch and passes the identical suite.
+func TestInteropStreamingOffServerSide(t *testing.T) {
+	runWireSuiteStreaming(t, ProtocolV2, ProtocolV2, ProtocolV2, true, false)
+}
+
+// TestInteropStreamingOffClientSide: a client that refuses the
+// streaming feature consumes from a streaming-capable server over
+// request/response, passing the identical suite.
+func TestInteropStreamingOffClientSide(t *testing.T) {
+	runWireSuiteStreaming(t, ProtocolV2, ProtocolV2, ProtocolV2, false, true)
 }

@@ -66,6 +66,12 @@ const (
 	OpCommit        Op = "commit"
 	OpCommitted     Op = "committed"
 	OpPing          Op = "ping"
+	// Streaming fetch ops (v2-only; FeatStreamFetch). The v1 spellings
+	// exist purely so a stream message converted to v1 framing is
+	// rejected as an unknown op by legacy servers — the clean fallback.
+	OpStreamOpen   Op = "stream_open"
+	OpStreamCredit Op = "stream_credit"
+	OpStreamClose  Op = "stream_close"
 )
 
 // MaxFrame bounds a frame's payload to keep a misbehaving peer from

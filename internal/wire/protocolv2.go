@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/auth"
 	"repro/internal/broker"
@@ -47,17 +48,24 @@ const (
 	MaxProtocol = ProtocolV2
 )
 
-// Feature bits exchanged during negotiation. All current features are
-// implied by v2 framing; the bits exist so future capabilities can be
-// negotiated without a new protocol version.
+// Feature bits exchanged during negotiation. FeatDenseOffsets and
+// FeatErrCodes are implied by v2 framing; FeatStreamFetch is the first
+// genuinely optional capability — either side may mask it out and the
+// connection degrades to pipelined request/response fetch.
 const (
 	// FeatDenseOffsets: fetch responses carry base-offset + dense-run
 	// offset encoding instead of a per-event array.
 	FeatDenseOffsets uint32 = 1 << 0
 	// FeatErrCodes: responses carry compact typed error codes.
 	FeatErrCodes uint32 = 1 << 1
+	// FeatStreamFetch: the server supports credit-based streaming fetch
+	// (OpStreamOpen/OpStreamBatch/OpStreamCredit/OpStreamClose): the
+	// client opens a per-partition stream and the server pushes batches
+	// proactively as data arrives, flow-controlled by client credit
+	// grants — no per-batch request round trip.
+	FeatStreamFetch uint32 = 1 << 2
 
-	allFeatures = FeatDenseOffsets | FeatErrCodes
+	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch
 )
 
 // v2 operation bytes, one per message pair.
@@ -75,6 +83,17 @@ const (
 	v2OpHeartbeat
 	v2OpCommit
 	v2OpCommitted
+	// Streaming fetch ops (FeatStreamFetch). StreamOpen is an ordinary
+	// request/response pair; StreamBatch and server-side StreamClose are
+	// pushed frames correlated by stream ID; client-side StreamCredit and
+	// StreamClose are one-way requests the server never answers.
+	v2OpStreamOpen
+	v2OpStreamBatch
+	v2OpStreamCredit
+	v2OpStreamClose
+
+	// v2OpMax is one past the highest assigned op byte (pool sizing).
+	v2OpMax
 )
 
 // Msg is the wireMsg codec interface: every v2 protocol message —
@@ -179,18 +198,21 @@ func DecodeRequestV2(hdr []byte, m ReqMsg) (corr uint64, err error) {
 // decodeAnyRequestV2 parses a v2 request header of any operation — the
 // server's read-loop entry point. The correlation ID is returned even
 // when the body is malformed or the op unknown, so the server can
-// answer with a typed error instead of dropping the connection.
-func decodeAnyRequestV2(hdr []byte) (corr uint64, op uint8, m ReqMsg, err error) {
+// answer with a typed error instead of dropping the connection. The
+// returned message comes from the per-op pool (release with putReqMsg
+// after dispatch); topic strings are interned through in when non-nil.
+func decodeAnyRequestV2(hdr []byte, in *Interner) (corr uint64, op uint8, m ReqMsg, err error) {
 	if len(hdr) < v2ReqPrefix {
 		return 0, 0, nil, errShortMsg
 	}
 	op = hdr[0]
 	corr = binary.BigEndian.Uint64(hdr[1:v2ReqPrefix])
-	m = newReqMsg(op)
+	m = getReqMsg(op)
 	if m == nil {
 		return corr, op, nil, fmt.Errorf("%w %d", errUnknownOp, op)
 	}
-	if err := m.DecodeBody(hdr[v2ReqPrefix:]); err != nil {
+	if err := decodeReqBody(m, hdr[v2ReqPrefix:], in); err != nil {
+		putReqMsg(op, m)
 		return corr, op, nil, err
 	}
 	return corr, op, m, nil
@@ -366,8 +388,40 @@ func newReqMsg(op uint8) ReqMsg {
 		return &CommitReq{}
 	case v2OpCommitted:
 		return &CommittedReq{}
+	case v2OpStreamOpen:
+		return &StreamOpenReq{}
+	case v2OpStreamCredit:
+		return &StreamCreditReq{}
+	case v2OpStreamClose:
+		return &StreamCloseReq{}
 	}
 	return nil
+}
+
+// reqMsgPools recycles decoded request messages on the server's v2 read
+// path: with topics interned per connection, reusing the message struct
+// is what takes steady-state data-plane header handling to 0 allocs/op.
+// Handlers return messages after dispatch; DecodeBody fully overwrites
+// every field, so reuse cannot leak state between requests.
+var reqMsgPools [v2OpMax]sync.Pool
+
+// getReqMsg returns a pooled request message for op, nil for unknown ops.
+func getReqMsg(op uint8) ReqMsg {
+	if int(op) >= len(reqMsgPools) {
+		return nil
+	}
+	if v := reqMsgPools[op].Get(); v != nil {
+		return v.(ReqMsg)
+	}
+	return newReqMsg(op)
+}
+
+// putReqMsg returns a request message to its op's pool.
+func putReqMsg(op uint8, m ReqMsg) {
+	if m == nil || int(op) >= len(reqMsgPools) {
+		return
+	}
+	reqMsgPools[op].Put(m)
 }
 
 // newRespMsg allocates the response message for a v2 op byte, nil for
@@ -391,6 +445,10 @@ func newRespMsg(op uint8) respMsg {
 		return &JoinGroupResp{}
 	case v2OpHeartbeat:
 		return &HeartbeatResp{}
+	case v2OpStreamOpen:
+		return &StreamOpenResp{}
+	case v2OpStreamBatch:
+		return &FetchResp{}
 	}
 	return nil
 }
@@ -449,10 +507,12 @@ func (m *ProduceReq) AppendBody(buf []byte) []byte {
 	return appendInt(buf, int64(m.NumEvents))
 }
 
-func (m *ProduceReq) DecodeBody(b []byte) error {
+func (m *ProduceReq) DecodeBody(b []byte) error { return m.decodeInterned(b, nil) }
+
+func (m *ProduceReq) decodeInterned(b []byte, in *Interner) error {
 	var err error
 	var v int64
-	if m.Topic, b, err = getStr(b); err != nil {
+	if m.Topic, b, err = getStrInterned(b, in); err != nil {
 		return err
 	}
 	if v, b, err = getInt(b); err != nil {
@@ -481,6 +541,13 @@ type FetchReq struct {
 	Offset    int64
 	MaxEvents int
 	MaxBytes  int
+	// WaitMaxMS, when > 0, long-polls: a fetch that finds nothing at
+	// Offset parks on the partition's tail waiter for up to this many
+	// milliseconds (server-capped at MaxFetchWait) instead of returning
+	// empty, so idle consumers stop hot-looping. Appended after the v2
+	// body the previous revision shipped — decoders tolerate trailing
+	// bytes, so older v2 peers ignore it; v1 framing drops it entirely.
+	WaitMaxMS int
 }
 
 func (*FetchReq) V2Op() uint8 { return v2OpFetch }
@@ -490,13 +557,16 @@ func (m *FetchReq) AppendBody(buf []byte) []byte {
 	buf = appendInt(buf, int64(m.Partition))
 	buf = appendInt(buf, m.Offset)
 	buf = appendInt(buf, int64(m.MaxEvents))
-	return appendInt(buf, int64(m.MaxBytes))
+	buf = appendInt(buf, int64(m.MaxBytes))
+	return appendInt(buf, int64(m.WaitMaxMS))
 }
 
-func (m *FetchReq) DecodeBody(b []byte) error {
+func (m *FetchReq) DecodeBody(b []byte) error { return m.decodeInterned(b, nil) }
+
+func (m *FetchReq) decodeInterned(b []byte, in *Interner) error {
 	var err error
 	var v int64
-	if m.Topic, b, err = getStr(b); err != nil {
+	if m.Topic, b, err = getStrInterned(b, in); err != nil {
 		return err
 	}
 	if v, b, err = getInt(b); err != nil {
@@ -510,14 +580,25 @@ func (m *FetchReq) DecodeBody(b []byte) error {
 		return err
 	}
 	m.MaxEvents = int(v)
-	if v, _, err = getInt(b); err != nil {
+	if v, b, err = getInt(b); err != nil {
 		return err
 	}
 	m.MaxBytes = int(v)
+	// WaitMaxMS is absent from bodies encoded by earlier v2 revisions;
+	// reset explicitly so a pooled message never carries a stale wait.
+	m.WaitMaxMS = 0
+	if len(b) > 0 {
+		if v, _, err = getInt(b); err != nil {
+			return err
+		}
+		m.WaitMaxMS = int(v)
+	}
 	return nil
 }
 
 func (m *FetchReq) v1() *Request {
+	// WaitMaxMS is intentionally dropped: v1 servers predate tail
+	// waiters and would ignore an unknown JSON field anyway.
 	return &Request{Op: OpFetch, Topic: m.Topic, Partition: m.Partition, Offset: m.Offset, MaxEvents: m.MaxEvents, MaxBytes: m.MaxBytes}
 }
 

@@ -47,6 +47,11 @@ type Server struct {
 	// is answered with an "unknown op" error, exactly as servers that
 	// predate the handshake answer it.
 	MaxVersion int
+	// DisableStreaming masks FeatStreamFetch out of negotiation,
+	// emulating a v2 server that predates streaming fetch: stream opens
+	// are refused as unknown ops and clients fall back to pipelined
+	// request/response fetch.
+	DisableStreaming bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -65,6 +70,15 @@ func (s *Server) maxVersion() int {
 		return MaxProtocol
 	}
 	return s.MaxVersion
+}
+
+// featureMask is the feature set this server offers in negotiation.
+func (s *Server) featureMask() uint32 {
+	feats := allFeatures
+	if s.DisableStreaming {
+		feats &^= FeatStreamFetch
+	}
+	return feats
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
@@ -227,7 +241,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	var handlers sync.WaitGroup
 	w := newRespWriter(conn)
+	// done interrupts parked long-polls and stream tail waits the moment
+	// the read loop exits, so teardown never blocks behind a wait.
+	done := make(chan struct{})
+	streams := newConnStreams(s, w, done)
 	defer func() {
+		close(done)
+		streams.closeAll()
 		handlers.Wait()
 		w.close()
 		s.mu.Lock()
@@ -242,6 +262,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	// inline-handled OpNegotiate. Only the read loop touches it;
 	// handlers capture the version their request arrived under.
 	version := ProtocolV1
+	// features is the negotiated feature set (0 until negotiation).
+	features := uint32(0)
+	// interner canonicalizes topic strings across this connection's v2
+	// data-plane requests (see intern.go). Only the read loop decodes,
+	// so it is unsynchronized by construction.
+	var interner Interner
 	var hdrBuf []byte
 	// Buffered reads: a pipelined client coalesces many frames per
 	// write, so the read loop should not pay three syscalls per frame.
@@ -254,7 +280,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != nil {
 				return // EOF or broken connection
 			}
-			corr, op, m, derr := decodeAnyRequestV2(hb)
+			corr, op, m, derr := decodeAnyRequestV2(hb, &interner)
 			payload, err := ReadPayloadInto(rd, nil)
 			if err != nil {
 				return
@@ -272,13 +298,42 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			if a, ok := m.(*AuthReq); ok {
-				// Auth mutates the connection's identity; handle it inline
-				// so every later frame observes the new principal.
-				resp, aerr := s.authenticate(a, &identity, &authed)
+			// Connection-state ops are handled inline on the read loop:
+			// auth flips the principal, stream ops mutate the stream
+			// registry. All are non-blocking (open's pump runs async).
+			switch q := m.(type) {
+			case *AuthReq:
+				resp, aerr := s.authenticate(q, &identity, &authed)
+				putReqMsg(op, m)
 				if w.writeV2(op, corr, resp, aerr, nil) != nil {
 					return
 				}
+				continue
+			case *StreamOpenReq:
+				var resp *StreamOpenResp
+				oerr := fmt.Errorf("%w %d: streaming fetch not negotiated", errUnknownOp, op)
+				if features&FeatStreamFetch != 0 {
+					resp, oerr = streams.open(q, identity, authed)
+				}
+				putReqMsg(op, m)
+				if oerr != nil {
+					if w.writeV2(op, corr, nil, oerr, nil) != nil {
+						return
+					}
+					continue
+				}
+				if w.writeV2(op, corr, resp, nil, nil) != nil {
+					return
+				}
+				continue
+			case *StreamCreditReq:
+				// One-way: grants for closed streams are silently dropped.
+				streams.credit(q.ID, q.Credit)
+				putReqMsg(op, m)
+				continue
+			case *StreamCloseReq:
+				streams.closeStream(q.ID)
+				putReqMsg(op, m)
 				continue
 			}
 			sem <- struct{}{}
@@ -286,7 +341,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(op uint8, corr uint64, m ReqMsg, payload []byte, identity string, authed bool) {
 				defer handlers.Done()
 				defer func() { <-sem }()
-				resp, evs, err := s.dispatch(m, payload, identity, authed)
+				resp, evs, err := s.dispatch(m, payload, identity, authed, done)
 				if werr := w.writeV2(op, corr, resp, err, evs); errors.Is(werr, ErrFrameTooLarge) {
 					// The success response didn't fit its frame bound
 					// (e.g. a pathologically fragmented offset run list):
@@ -295,6 +350,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					// Error frames are tiny and always fit.
 					_ = w.writeV2(op, corr, nil, werr, nil)
 				}
+				putReqMsg(op, m)
 			}(op, corr, m, payload, identity, authed)
 			continue
 		}
@@ -319,7 +375,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 			case req.MaxVersion >= ProtocolV2:
-				resp := &Response{Corr: req.Corr, Version: ProtocolV2, Features: req.Features & allFeatures}
+				resp := &Response{Corr: req.Corr, Version: ProtocolV2, Features: req.Features & s.featureMask()}
 				if w.write(resp, nil) != nil {
 					return
 				}
@@ -327,6 +383,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// is v2. The respWriter preserves enqueue order, so the
 				// v1 response above always leaves first.
 				version = ProtocolV2
+				features = resp.Features
 			default:
 				resp := &Response{Corr: req.Corr, Version: ProtocolV1}
 				if w.write(resp, nil) != nil {
@@ -362,7 +419,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if perr != nil {
 				err = perr
 			} else {
-				resp, evs, err = s.dispatch(m, payload, identity, authed)
+				resp, evs, err = s.dispatch(m, payload, identity, authed, done)
 			}
 			v1 := &Response{Corr: corr}
 			if err != nil {
@@ -438,8 +495,9 @@ func (s *Server) authenticate(a *AuthReq, identity *string, authed *bool) (*Auth
 // dispatch executes one data-plane request against the fabric.
 // Responses with an event payload (fetch) return the events themselves;
 // the respWriter marshals them straight into the connection's pending
-// write buffer, in whichever framing the request arrived under.
-func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool) (respMsg, []event.Event, error) {
+// write buffer, in whichever framing the request arrived under. stop
+// interrupts long-poll waits when the connection tears down.
+func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool, stop <-chan struct{}) (respMsg, []event.Event, error) {
 	if !authed {
 		return nil, nil, fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)
 	}
@@ -461,7 +519,15 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 		}
 		return &ProduceResp{Offset: off}, nil, nil
 	case *FetchReq:
-		res, err := s.Fabric.Fetch(identity, q.Topic, q.Partition, q.Offset, q.MaxEvents, q.MaxBytes)
+		// WaitMaxMS long-polls an empty partition on the log's tail
+		// waiter (v2 clients only; v1 framing never carries it). The
+		// wait is capped below the transport IOTimeout and interrupted
+		// by connection teardown.
+		wait := time.Duration(q.WaitMaxMS) * time.Millisecond
+		if wait > MaxFetchWait {
+			wait = MaxFetchWait
+		}
+		res, err := s.Fabric.FetchWaitInto(identity, q.Topic, q.Partition, q.Offset, q.MaxEvents, q.MaxBytes, wait, stop, nil)
 		if err != nil {
 			return nil, nil, err
 		}

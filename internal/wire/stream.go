@@ -1,0 +1,401 @@
+// Streaming fetch (FeatStreamFetch): credit-based server push.
+//
+// Request/response fetch costs one round trip per batch and makes an
+// idle consumer poll empty partitions. A negotiated stream inverts the
+// flow: the client opens a per-partition stream (OpStreamOpen, carrying
+// the start offset and an initial credit window measured in events) and
+// the server pushes OpStreamBatch frames proactively as data becomes
+// available, decrementing the window by the events pushed. The client
+// returns consumed credit with one-way OpStreamCredit grants; when the
+// window hits zero the server pump parks until more credit arrives, so
+// a slow reader bounds server-side buffering at one window of events
+// instead of backing up unbounded. When a partition is dry the pump
+// parks on the log's tail waiter (eventlog.WaitAppend) — an idle stream
+// costs one blocked goroutine, no polling.
+//
+// Credits rather than TCP backpressure because the transport is shared:
+// every stream on a connection (and the request/response traffic
+// pipelined beside them) multiplexes one TCP socket, so one slow
+// consumer stalling the socket would stall them all. Credits push the
+// back-pressure boundary up to the individual stream, exactly the
+// reasoning behind HTTP/2 and gRPC stream-level flow control and
+// Kafka's KIP-227 fetch sessions.
+//
+// Either side closes with OpStreamClose: one-way from the client, and
+// from the server a pushed frame carrying the typed error that ended
+// the stream (offset out of range, leader lost, ...) so the consumer
+// can react exactly as it would to a failed fetch.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/event"
+)
+
+// MaxFetchWait caps a long-poll fetch's WaitMaxMS server-side, keeping
+// every parked handler comfortably inside the client's IOTimeout so a
+// long-poll can never be mistaken for a dead connection.
+const MaxFetchWait = 10 * time.Second
+
+// streamWaitSlice is how long a stream pump parks on the tail waiter
+// per wait call. Arbitrary — the stop channel interrupts teardown — it
+// only bounds how long a pump can linger after its stop path is gone.
+const streamWaitSlice = 30 * time.Second
+
+// maxConnStreams bounds open streams per connection: a misbehaving peer
+// must not mint unbounded pump goroutines.
+const maxConnStreams = 256
+
+// maxStreamCredit caps one stream's credit window server-side (matching
+// the honest client's own window clamp). Credit is what bounds the
+// respWriter buffering a stalled reader can force — the window must be
+// a server-enforced limit, not an attacker-chosen value.
+const maxStreamCredit = 4096
+
+// errStream reports stream-protocol misuse (duplicate or unknown IDs,
+// stream ops without the negotiated feature).
+var errStream = fmt.Errorf("wire: stream protocol error")
+
+// --- stream messages ---
+
+// StreamOpenReq opens a per-partition fetch stream (OpStreamOpen). The
+// client picks the connection-unique ID; batches arrive as pushed
+// OpStreamBatch frames correlated by it.
+type StreamOpenReq struct {
+	ID        uint64
+	Topic     string
+	Partition int
+	// Offset is the first offset the server will push.
+	Offset int64
+	// MaxEvents / MaxBytes bound one pushed batch (fetch semantics).
+	MaxEvents int
+	MaxBytes  int
+	// Credit is the initial flow-control window in events.
+	Credit int
+}
+
+func (*StreamOpenReq) V2Op() uint8 { return v2OpStreamOpen }
+
+func (m *StreamOpenReq) AppendBody(buf []byte) []byte {
+	buf = appendUint(buf, m.ID)
+	buf = appendStr(buf, m.Topic)
+	buf = appendInt(buf, int64(m.Partition))
+	buf = appendInt(buf, m.Offset)
+	buf = appendInt(buf, int64(m.MaxEvents))
+	buf = appendInt(buf, int64(m.MaxBytes))
+	return appendInt(buf, int64(m.Credit))
+}
+
+func (m *StreamOpenReq) DecodeBody(b []byte) error { return m.decodeInterned(b, nil) }
+
+func (m *StreamOpenReq) decodeInterned(b []byte, in *Interner) error {
+	var err error
+	var v int64
+	if m.ID, b, err = getUint(b); err != nil {
+		return err
+	}
+	if m.Topic, b, err = getStrInterned(b, in); err != nil {
+		return err
+	}
+	if v, b, err = getInt(b); err != nil {
+		return err
+	}
+	m.Partition = int(v)
+	if m.Offset, b, err = getInt(b); err != nil {
+		return err
+	}
+	if v, b, err = getInt(b); err != nil {
+		return err
+	}
+	m.MaxEvents = int(v)
+	if v, b, err = getInt(b); err != nil {
+		return err
+	}
+	m.MaxBytes = int(v)
+	if v, _, err = getInt(b); err != nil {
+		return err
+	}
+	m.Credit = int(v)
+	return nil
+}
+
+// v1 converts to a JSON header a v1 server rejects as an unknown op —
+// the clean-fallback path for clients probing a legacy peer.
+func (m *StreamOpenReq) v1() *Request { return &Request{Op: OpStreamOpen} }
+
+// StreamOpenResp acknowledges a stream open with the partition's
+// positions at open time.
+type StreamOpenResp struct {
+	HighWatermark int64
+	StartOffset   int64
+}
+
+func (m *StreamOpenResp) AppendBody(buf []byte) []byte {
+	buf = appendInt(buf, m.HighWatermark)
+	return appendInt(buf, m.StartOffset)
+}
+
+func (m *StreamOpenResp) DecodeBody(b []byte) error {
+	var err error
+	if m.HighWatermark, b, err = getInt(b); err != nil {
+		return err
+	}
+	m.StartOffset, _, err = getInt(b)
+	return err
+}
+
+func (m *StreamOpenResp) fromV1(r *Response) {
+	m.HighWatermark, m.StartOffset = r.HighWatermark, r.StartOffset
+}
+func (m *StreamOpenResp) toV1(r *Response) {
+	r.HighWatermark, r.StartOffset = m.HighWatermark, m.StartOffset
+}
+
+// StreamCreditReq returns consumed credit to a stream's window
+// (OpStreamCredit). One-way: the server never answers it.
+type StreamCreditReq struct {
+	ID     uint64
+	Credit int
+}
+
+func (*StreamCreditReq) V2Op() uint8 { return v2OpStreamCredit }
+
+func (m *StreamCreditReq) AppendBody(buf []byte) []byte {
+	buf = appendUint(buf, m.ID)
+	return appendInt(buf, int64(m.Credit))
+}
+
+func (m *StreamCreditReq) DecodeBody(b []byte) error {
+	var err error
+	var v int64
+	if m.ID, b, err = getUint(b); err != nil {
+		return err
+	}
+	if v, _, err = getInt(b); err != nil {
+		return err
+	}
+	m.Credit = int(v)
+	return nil
+}
+
+func (m *StreamCreditReq) v1() *Request { return &Request{Op: OpStreamCredit} }
+
+// StreamCloseReq closes a stream from the client side (OpStreamClose).
+// One-way: the pump just stops.
+type StreamCloseReq struct {
+	ID uint64
+}
+
+func (*StreamCloseReq) V2Op() uint8                  { return v2OpStreamClose }
+func (m *StreamCloseReq) AppendBody(buf []byte) []byte { return appendUint(buf, m.ID) }
+func (m *StreamCloseReq) DecodeBody(b []byte) error {
+	var err error
+	m.ID, _, err = getUint(b)
+	return err
+}
+func (m *StreamCloseReq) v1() *Request { return &Request{Op: OpStreamClose} }
+
+func appendUint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+// --- server-side stream state ---
+
+// connStreams is one connection's stream registry: the read loop opens,
+// credits, and closes streams; pump goroutines push batches through the
+// connection's respWriter.
+type connStreams struct {
+	srv  *Server
+	w    *respWriter
+	done <-chan struct{} // closed when the connection's read loop exits
+
+	mu sync.Mutex
+	m  map[uint64]*serverStream
+	wg sync.WaitGroup
+}
+
+// serverStream is one open stream: its fixed parameters plus the
+// credit window the pump blocks on.
+type serverStream struct {
+	id        uint64
+	identity  string
+	topic     string
+	partition int
+	maxEvents int
+	maxBytes  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	credit int
+	closed bool
+	stop   chan struct{} // closed with the stream; interrupts tail waits
+
+	// next is the next offset to push; dst is the pump's reusable fetch
+	// buffer. Both are touched only by the pump goroutine.
+	next int64
+	dst  []event.Event
+}
+
+func newConnStreams(srv *Server, w *respWriter, done <-chan struct{}) *connStreams {
+	return &connStreams{srv: srv, w: w, done: done, m: make(map[uint64]*serverStream)}
+}
+
+// open validates and registers a stream, replies to the open request,
+// and starts its pump. Called inline from the read loop.
+func (cs *connStreams) open(q *StreamOpenReq, identity string, authed bool) (*StreamOpenResp, error) {
+	if !authed {
+		return nil, fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)
+	}
+	if identity != "" {
+		if err := cs.srv.Fabric.ACL.Check(q.Topic, identity, auth.PermRead); err != nil {
+			return nil, err
+		}
+	}
+	start, err := cs.srv.Fabric.StartOffset(q.Topic, q.Partition)
+	if err != nil {
+		return nil, err
+	}
+	end, err := cs.srv.Fabric.EndOffset(q.Topic, q.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if q.Offset < start || q.Offset > end {
+		return nil, fmt.Errorf("%w: stream open at %d not in [%d,%d]", ErrOffsetOutOfRange, q.Offset, start, end)
+	}
+	st := &serverStream{
+		id: q.ID, identity: identity, topic: q.Topic, partition: q.Partition,
+		maxEvents: q.MaxEvents, maxBytes: q.MaxBytes,
+		credit: q.Credit, stop: make(chan struct{}), next: q.Offset,
+	}
+	if st.maxEvents <= 0 {
+		st.maxEvents = 512
+	}
+	if st.credit > maxStreamCredit {
+		st.credit = maxStreamCredit
+	}
+	st.cond = sync.NewCond(&st.mu)
+	cs.mu.Lock()
+	if _, dup := cs.m[q.ID]; dup {
+		cs.mu.Unlock()
+		return nil, fmt.Errorf("%w: duplicate stream id %d", errStream, q.ID)
+	}
+	if len(cs.m) >= maxConnStreams {
+		cs.mu.Unlock()
+		return nil, fmt.Errorf("%w: too many open streams", errStream)
+	}
+	cs.m[q.ID] = st
+	cs.wg.Add(1)
+	cs.mu.Unlock()
+	go cs.pump(st)
+	return &StreamOpenResp{HighWatermark: end, StartOffset: start}, nil
+}
+
+// credit adds a client grant to a stream's window. Grants for unknown
+// IDs are dropped: the stream may have closed while the grant was in
+// flight, which is normal, not an error.
+func (cs *connStreams) credit(id uint64, n int) {
+	cs.mu.Lock()
+	st := cs.m[id]
+	cs.mu.Unlock()
+	if st == nil || n <= 0 {
+		return
+	}
+	st.mu.Lock()
+	st.credit += n
+	if st.credit > maxStreamCredit {
+		st.credit = maxStreamCredit
+	}
+	st.cond.Signal()
+	st.mu.Unlock()
+}
+
+// closeStream tears one stream down (client-initiated or pump exit).
+func (cs *connStreams) closeStream(id uint64) {
+	cs.mu.Lock()
+	st := cs.m[id]
+	delete(cs.m, id)
+	cs.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		close(st.stop)
+		st.cond.Broadcast()
+	}
+	st.mu.Unlock()
+}
+
+// closeAll tears every stream down (connection teardown) and waits for
+// the pumps to exit, so serveConn never leaks a pump goroutine.
+func (cs *connStreams) closeAll() {
+	cs.mu.Lock()
+	ids := make([]uint64, 0, len(cs.m))
+	for id := range cs.m {
+		ids = append(ids, id)
+	}
+	cs.mu.Unlock()
+	for _, id := range ids {
+		cs.closeStream(id)
+	}
+	cs.wg.Wait()
+}
+
+// pump is one stream's push loop: park until the window has credit,
+// fetch (parking on the log's tail waiter when the partition is dry),
+// push the batch, repeat. A fetch error ends the stream with a pushed
+// OpStreamClose carrying the typed error.
+func (cs *connStreams) pump(st *serverStream) {
+	defer cs.wg.Done()
+	for {
+		st.mu.Lock()
+		for st.credit <= 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if st.closed {
+			st.mu.Unlock()
+			return
+		}
+		credit := st.credit
+		st.mu.Unlock()
+
+		max := st.maxEvents
+		if credit < max {
+			max = credit
+		}
+		res, err := cs.srv.Fabric.FetchWaitInto(
+			st.identity, st.topic, st.partition, st.next, max, st.maxBytes,
+			streamWaitSlice, st.stop, st.dst[:0])
+		if err != nil {
+			// Push the typed error as a server-side close so the consumer
+			// reacts exactly as to a failed fetch, then stop.
+			_ = cs.w.writeV2(v2OpStreamClose, st.id, nil, err, nil)
+			cs.closeStream(st.id)
+			return
+		}
+		if cap(res.Events) > cap(st.dst) {
+			st.dst = res.Events
+		}
+		if len(res.Events) == 0 {
+			continue // timed-out tail wait or stream closing; loop re-checks
+		}
+		resp := &FetchResp{
+			NumEvents:     len(res.Events),
+			HighWatermark: res.HighWatermark,
+			StartOffset:   res.StartOffset,
+		}
+		resp.SetOffsets(res.Events)
+		if cs.w.writeV2(v2OpStreamBatch, st.id, resp, nil, res.Events) != nil {
+			cs.closeStream(st.id)
+			return
+		}
+		st.next = res.Events[len(res.Events)-1].Offset + 1
+		st.mu.Lock()
+		st.credit -= len(res.Events)
+		st.mu.Unlock()
+	}
+}

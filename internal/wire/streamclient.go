@@ -1,0 +1,407 @@
+// Client side of streaming fetch: per-partition stream sessions behind
+// the BufferedFetcher surface.
+//
+// When the negotiated features include FeatStreamFetch, FetchBuffered
+// transparently opens a stream per topic-partition on the partition's
+// pool connection. Pushed batches land in a bounded frame queue filled
+// by the connection's reader goroutine; the consumer drains it without
+// issuing a request per batch, so steady-state consumption costs zero
+// round trips. Offsets are tracked so that the SDK consumer's usual
+// "ask for position, get events, advance position" loop maps onto the
+// stream exactly: a fetch at the expected next offset serves from the
+// stream, any other offset (seek, rebalance) closes and reopens it.
+// Against peers without the feature — v1 servers, version-capped or
+// stream-disabled v2 servers — the same calls fall back to pipelined
+// request/response fetch, with long-poll (FetchReq.WaitMaxMS) riding
+// the plain path when the caller asked to wait.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/event"
+)
+
+// streamKey identifies a stream session on one connection.
+type streamKey struct {
+	topic     string
+	partition int
+}
+
+// streamFrame is one pushed batch (or a server-side close): the decoded
+// header plus the raw event payload. Frames recycle through the
+// stream's free list, so a steady-state stream allocates nothing per
+// batch once warm.
+type streamFrame struct {
+	hdr  FetchResp
+	data []byte
+	err  error
+}
+
+// clientStream is one open fetch stream. The reader goroutine fills
+// frames; the consumer (serialized per partition by the SDK) drains
+// them under mu.
+type clientStream struct {
+	wc        *wireConn
+	id        uint64
+	topic     string
+	partition int
+	// window is the credit window in events; the frames channel is
+	// sized to hold a full window of single-event batches plus a close.
+	window int
+	frames chan *streamFrame
+
+	freeMu sync.Mutex
+	free   []*streamFrame
+
+	mu sync.Mutex
+	// Decode state is double-buffered across pulled frames, mirroring
+	// the consumer session's buf/pre pair: the SDK's async prefetch
+	// decodes the next frame while the application (and the Poll that
+	// spawned the prefetch) is still reading the previous one, so
+	// consecutive frames must land in disjoint arrays, and a frame's
+	// payload (which the decoded events' Key/Value alias) must survive
+	// until two pulls later.
+	gen        int
+	frameSlots [2]*streamFrame
+	evBufs     [2][]event.Event
+	// evs are the current frame's decoded events; idx is how many have
+	// been served.
+	evs []event.Event
+	idx int
+	// next is the offset the consumer is expected to ask for next: one
+	// past the last served event (the open offset before any serve).
+	next int64
+	// hw/start mirror the latest pushed batch's positions so empty
+	// polls still report fresh watermarks.
+	hw, start int64
+	// consumed counts events not yet returned to the server as credit.
+	consumed int
+	err      error
+}
+
+func (s *clientStream) getFrame() *streamFrame {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		f.err = nil
+		return f
+	}
+	return &streamFrame{}
+}
+
+func (s *clientStream) putFrame(f *streamFrame) {
+	if f == nil {
+		return
+	}
+	if cap(f.data) > maxPooledFrame {
+		f.data = nil
+	}
+	s.freeMu.Lock()
+	s.free = append(s.free, f)
+	s.freeMu.Unlock()
+}
+
+// --- wireConn stream registry ---
+
+// streamingEnabled reports whether this connection negotiated
+// FeatStreamFetch and has not since learned the server refuses opens.
+func (wc *wireConn) streamingEnabled() bool {
+	wc.mu.Lock()
+	ok := wc.version >= ProtocolV2 && wc.features&FeatStreamFetch != 0 && wc.err == nil
+	wc.mu.Unlock()
+	if !ok {
+		return false
+	}
+	wc.streamMu.Lock()
+	defer wc.streamMu.Unlock()
+	return !wc.noStreams
+}
+
+func (wc *wireConn) streamFor(k streamKey) *clientStream {
+	wc.streamMu.Lock()
+	defer wc.streamMu.Unlock()
+	return wc.streamsByTP[k]
+}
+
+// dropStream unregisters s; the reader drops frames for unknown IDs.
+func (wc *wireConn) dropStream(s *clientStream) {
+	wc.streamMu.Lock()
+	if wc.streamsByID[s.id] == s {
+		delete(wc.streamsByID, s.id)
+	}
+	k := streamKey{s.topic, s.partition}
+	if wc.streamsByTP[k] == s {
+		delete(wc.streamsByTP, k)
+	}
+	wc.streamMu.Unlock()
+}
+
+// errNow snapshots the connection's sticky error.
+func (wc *wireConn) errNow() error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.err
+}
+
+// handleStreamPush routes one pushed stream frame (batch or close) from
+// the reader goroutine into its stream's queue, reading the payload
+// into a recycled frame buffer. A non-nil return is a connection-level
+// protocol failure.
+func (wc *wireConn) handleStreamPush(op, code uint8, id uint64, body []byte) error {
+	wc.streamMu.Lock()
+	s := wc.streamsByID[id]
+	wc.streamMu.Unlock()
+	if s == nil {
+		// Stream closed locally while frames were in flight: consume the
+		// payload to keep framing intact, then drop.
+		_, err := ReadPayloadInto(wc.rd, nil)
+		return err
+	}
+	f := s.getFrame()
+	switch {
+	case code != codeOK:
+		// Server-side close (or batch-op error) carrying the typed error.
+		if detail, _, derr := getStr(body); derr != nil {
+			f.err = derr
+		} else {
+			f.err = errFromCode(code, detail)
+		}
+	case op == v2OpStreamClose:
+		// Clean server-side close: surface as a retriable end-of-stream;
+		// the next fetch reopens.
+		f.err = errStreamEnded
+	default:
+		if err := f.hdr.DecodeBody(body); err != nil {
+			return err
+		}
+	}
+	data, err := ReadPayloadInto(wc.rd, f.data[:0])
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		f.data = data
+	} else {
+		f.data = f.data[:0]
+	}
+	select {
+	case s.frames <- f:
+		return nil
+	default:
+		return fmt.Errorf("%w: stream %d overran its credit window", errStream, id)
+	}
+}
+
+// failStreams marks every stream on a failing connection; parked
+// consumers wake through wc.done and observe the sticky error.
+var errStreamEnded = errors.New("wire: stream ended by server")
+
+// --- open / fetch ---
+
+// streamWindow sizes the credit window from the caller's batch bound.
+func streamWindow(maxEvents int) int {
+	w := 4 * maxEvents
+	if w < 256 {
+		w = 256
+	}
+	if w > 4096 {
+		w = 4096
+	}
+	return w
+}
+
+// openStream registers and opens a stream at offset. The stream is
+// registered before the open request goes out: the server's first push
+// can be hot on the heels of the open response.
+func (wc *wireConn) openStream(topic string, partition int, offset int64, maxEvents, maxBytes int) (*clientStream, error) {
+	window := streamWindow(maxEvents)
+	wc.streamMu.Lock()
+	wc.nextStreamID++
+	id := wc.nextStreamID
+	s := &clientStream{
+		wc: wc, id: id, topic: topic, partition: partition,
+		window: window, frames: make(chan *streamFrame, window+2),
+		next: offset,
+	}
+	if wc.streamsByID == nil {
+		wc.streamsByID = make(map[uint64]*clientStream)
+		wc.streamsByTP = make(map[streamKey]*clientStream)
+	}
+	k := streamKey{topic, partition}
+	if old := wc.streamsByTP[k]; old != nil {
+		// Replace a stale session (concurrent misuse or a seek race).
+		delete(wc.streamsByID, old.id)
+	}
+	wc.streamsByID[id] = s
+	wc.streamsByTP[k] = s
+	wc.streamMu.Unlock()
+
+	req := &StreamOpenReq{
+		ID: id, Topic: topic, Partition: partition, Offset: offset,
+		MaxEvents: maxEvents, MaxBytes: maxBytes, Credit: window,
+	}
+	var resp StreamOpenResp
+	cl := &call{op: req.V2Op(), req: req, resp: &resp, done: make(chan struct{})}
+	err := wc.do(cl)
+	if err == nil {
+		err = cl.srvErr
+	}
+	if err != nil {
+		wc.dropStream(s)
+		return nil, err
+	}
+	s.hw, s.start = resp.HighWatermark, resp.StartOffset
+	return s, nil
+}
+
+// closeStream tears a session down from the client side: a one-way
+// close op (best effort) plus local unregistration.
+func (wc *wireConn) closeStream(s *clientStream) {
+	wc.dropStream(s)
+	_ = wc.sendOneway(&StreamCloseReq{ID: s.id})
+}
+
+// fetchStream serves one FetchBuffered call from a stream session.
+// handled=false means streaming is unavailable on this connection (the
+// server refused the open as an unknown op) and the caller must fall
+// back to request/response.
+func (c *Client) fetchStream(wc *wireConn, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration) (broker.FetchResult, error, bool) {
+	s := wc.streamFor(streamKey{topic, partition})
+	if s != nil {
+		s.mu.Lock()
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			wc.dropStream(s)
+			if errors.Is(err, errStreamEnded) {
+				// Clean end: reopen below instead of surfacing an error.
+				s = nil
+			} else {
+				return broker.FetchResult{}, err, true
+			}
+		} else if s.next != offset {
+			// Seek or rebalance: the stream's position no longer matches
+			// the consumer's. Close and reopen at the requested offset.
+			s.mu.Unlock()
+			wc.closeStream(s)
+			s = nil
+		} else {
+			defer s.mu.Unlock()
+		}
+	}
+	if s == nil {
+		var err error
+		s, err = wc.openStream(topic, partition, offset, maxEvents, maxBytes)
+		if err != nil {
+			if errors.Is(err, errUnknownOp) {
+				// The server negotiated the feature away (or predates it):
+				// remember and fall back for the connection's lifetime.
+				wc.streamMu.Lock()
+				wc.noStreams = true
+				wc.streamMu.Unlock()
+				return broker.FetchResult{}, nil, false
+			}
+			return broker.FetchResult{}, err, true
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+
+	if s.idx >= len(s.evs) {
+		if err := s.pullFrame(wait); err != nil {
+			wc.dropStream(s)
+			if errors.Is(err, errStreamEnded) {
+				return broker.FetchResult{Events: nil, HighWatermark: s.hw, StartOffset: s.start}, nil, true
+			}
+			return broker.FetchResult{}, err, true
+		}
+	}
+	if s.idx >= len(s.evs) {
+		// Nothing pushed (yet): an empty poll, exactly like an empty
+		// request/response fetch.
+		return broker.FetchResult{Events: nil, HighWatermark: s.hw, StartOffset: s.start}, nil, true
+	}
+	n := len(s.evs) - s.idx
+	if maxEvents > 0 && n > maxEvents {
+		n = maxEvents
+	}
+	out := s.evs[s.idx : s.idx+n]
+	s.idx += n
+	s.next = out[n-1].Offset + 1
+	s.noteConsumed(n)
+	return broker.FetchResult{Events: out, HighWatermark: s.hw, StartOffset: s.start}, nil, true
+}
+
+// pullFrame adopts the next pushed frame into the serve position,
+// blocking up to wait when the queue is empty. Returning nil with an
+// unchanged s.idx/s.evs means no data arrived. Callers hold s.mu.
+func (s *clientStream) pullFrame(wait time.Duration) error {
+	var f *streamFrame
+	select {
+	case f = <-s.frames:
+	default:
+		if err := s.wc.errNow(); err != nil {
+			return err
+		}
+		if wait <= 0 {
+			return nil
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case f = <-s.frames:
+		case <-s.wc.done:
+			return s.wc.errNow()
+		case <-timer.C:
+			return nil
+		}
+	}
+	if f.err != nil {
+		err := f.err
+		s.putFrame(f)
+		s.err = err
+		return err
+	}
+	g := s.gen ^ 1
+	evs, pos, err := event.AppendUnmarshalBatch(s.evBufs[g][:0], f.data, f.hdr.NumEvents)
+	if err != nil {
+		s.putFrame(f)
+		return fmt.Errorf("wire: %w", err)
+	}
+	if pos != len(f.data) {
+		s.putFrame(f)
+		return fmt.Errorf("wire: %d trailing bytes after %d stream events", len(f.data)-pos, f.hdr.NumEvents)
+	}
+	f.hdr.Stamp(evs, s.topic, s.partition)
+	// Recycle the frame from two pulls ago — the previous frame's data
+	// is still backing events the application may be processing.
+	s.putFrame(s.frameSlots[g])
+	s.frameSlots[g] = f
+	s.evBufs[g] = evs
+	s.gen = g
+	s.evs = evs
+	s.idx = 0
+	s.hw, s.start = f.hdr.HighWatermark, f.hdr.StartOffset
+	return nil
+}
+
+// noteConsumed returns credit to the server once half the window has
+// been consumed — batched grants, so flow control costs a fraction of a
+// one-way frame per batch rather than an ack per batch. Callers hold
+// s.mu.
+func (s *clientStream) noteConsumed(n int) {
+	s.consumed += n
+	if 2*s.consumed < s.window {
+		return
+	}
+	if err := s.wc.sendOneway(&StreamCreditReq{ID: s.id, Credit: s.consumed}); err == nil {
+		s.consumed = 0
+	}
+}

@@ -33,6 +33,10 @@ func fuzzReqSeeds() []ReqMsg {
 		&HeartbeatReq{Group: "g", Member: "m-1"},
 		&CommitReq{Group: "g", Member: "m", Generation: 4, Topic: "t", Partition: 1, Offset: 99},
 		&CommittedReq{Group: "g", Topic: "t", Partition: 1},
+		&FetchReq{Topic: "lp", Partition: 0, Offset: 12, MaxEvents: 100, MaxBytes: 1 << 20, WaitMaxMS: 2500},
+		&StreamOpenReq{ID: 9, Topic: "st", Partition: 2, Offset: 1 << 33, MaxEvents: 500, MaxBytes: 2 << 20, Credit: 2000},
+		&StreamCreditReq{ID: 9, Credit: 512},
+		&StreamCloseReq{ID: 9},
 	}
 }
 
@@ -62,6 +66,12 @@ func fuzzRespSeeds() []struct {
 		}}},
 		{v2OpJoinGroup, &JoinGroupResp{Generation: 3, Partitions: []broker.TP{{Topic: "t", Partition: 0}, {Topic: "t", Partition: 1}}}},
 		{v2OpHeartbeat, &HeartbeatResp{Generation: 9}},
+		{v2OpStreamOpen, &StreamOpenResp{HighWatermark: 512, StartOffset: 16}},
+		{v2OpStreamBatch, func() Msg {
+			b := &FetchResp{NumEvents: 3, HighWatermark: 40, StartOffset: 0}
+			b.SetOffsets([]event.Event{{Offset: 20}, {Offset: 21}, {Offset: 30}})
+			return b
+		}()},
 	}
 }
 
@@ -70,7 +80,7 @@ func fuzzRespSeeds() []struct {
 func TestV2RequestCodecRoundTrip(t *testing.T) {
 	for _, m := range fuzzReqSeeds() {
 		enc := AppendRequestV2(nil, 42, m)
-		corr, op, got, err := decodeAnyRequestV2(enc)
+		corr, op, got, err := decodeAnyRequestV2(enc, nil)
 		if err != nil {
 			t.Fatalf("%T: decode: %v", m, err)
 		}
@@ -247,7 +257,7 @@ func FuzzDecodeRequestV2(f *testing.F) {
 	f.Add([]byte{v2OpFetch})
 	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		corr, op, m, err := decodeAnyRequestV2(b)
+		corr, op, m, err := decodeAnyRequestV2(b, nil)
 		if err != nil {
 			return // malformed input correctly rejected
 		}
@@ -308,6 +318,73 @@ func FuzzDecodeResponseV2(f *testing.F) {
 		}
 		if enc2 := AppendResponseV2(nil, op2, corr2, m2); !bytes.Equal(enc, enc2) {
 			t.Fatalf("unstable round trip\n %x\n %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeStreamFrames feeds arbitrary bytes to every streaming-fetch
+// message decoder — the open/credit/close requests (with and without a
+// topic interner) and the pushed batch header — asserting the usual
+// contract: malformed input errors (never panics) and any accepted body
+// round-trips byte-identically through re-encode → decode → re-encode.
+func FuzzDecodeStreamFrames(f *testing.F) {
+	f.Add(uint8(0), AppendRequestV2(nil, 3, &StreamOpenReq{ID: 7, Topic: "t", Partition: 1, Offset: 100, MaxEvents: 500, MaxBytes: 1 << 20, Credit: 2000}))
+	f.Add(uint8(1), AppendRequestV2(nil, 4, &StreamCreditReq{ID: 7, Credit: 256}))
+	f.Add(uint8(2), AppendRequestV2(nil, 5, &StreamCloseReq{ID: 7}))
+	batch := &FetchResp{NumEvents: 4, HighWatermark: 44, StartOffset: 2}
+	batch.SetOffsets([]event.Event{{Offset: 40}, {Offset: 41}, {Offset: 42}, {Offset: 43}})
+	f.Add(uint8(3), AppendResponseV2(nil, v2OpStreamBatch, 7, batch))
+	f.Add(uint8(3), appendErrResponseV2(nil, v2OpStreamClose, 7, fmt.Errorf("%w: gone", eventlog.ErrOffsetOutOfRange)))
+	f.Fuzz(func(t *testing.T, kind uint8, b []byte) {
+		if kind%4 == 3 {
+			// Pushed frames: client-side prefix + batch body decode.
+			op, code, corr, body, err := decodeRespPrefixV2(b)
+			if err != nil {
+				return
+			}
+			if code != codeOK {
+				if detail, _, derr := getStr(body); derr == nil {
+					if e := errFromCode(code, detail); e == nil {
+						t.Fatal("stream close code decoded to nil error")
+					}
+				}
+				return
+			}
+			var m FetchResp
+			if err := m.DecodeBody(body); err != nil {
+				return
+			}
+			enc := AppendResponseV2(nil, op, corr, &m)
+			var m2 FetchResp
+			op2, corr2, err := DecodeResponseV2(enc, &m2)
+			if err != nil || op2 != op || corr2 != corr {
+				t.Fatalf("canonical stream batch re-decode: op %d→%d corr %d→%d err %v", op, op2, corr, corr2, err)
+			}
+			if enc2 := AppendResponseV2(nil, op2, corr2, &m2); !bytes.Equal(enc, enc2) {
+				t.Fatalf("unstable stream batch round trip\n %x\n %x", enc, enc2)
+			}
+			return
+		}
+		// Request frames, decoded exactly as the server does: pooled
+		// message, per-connection interner.
+		var in Interner
+		corr, op, m, err := decodeAnyRequestV2(b, &in)
+		if err != nil {
+			return
+		}
+		switch m.(type) {
+		case *StreamOpenReq, *StreamCreditReq, *StreamCloseReq:
+		default:
+			return // not a stream op; covered by FuzzDecodeRequestV2
+		}
+		enc := AppendRequestV2(nil, corr, m)
+		m2 := newReqMsg(op)
+		corr2, err := DecodeRequestV2Interned(enc, m2, &in)
+		if err != nil || corr2 != corr {
+			t.Fatalf("canonical re-decode: corr %d→%d err %v", corr, corr2, err)
+		}
+		if enc2 := AppendRequestV2(nil, corr2, m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable stream request round trip\n %x\n %x", enc, enc2)
 		}
 	})
 }

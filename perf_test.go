@@ -1,7 +1,6 @@
 package repro
 
 import (
-	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/event"
+	"repro/internal/testbed"
 	"repro/internal/wire"
 )
 
@@ -138,66 +138,17 @@ func BenchmarkConsumerPollAllocs(b *testing.B) {
 	b.ReportMetric(legacy, "allocs/poll_legacy")
 }
 
-// delayProxy forwards TCP bytes in both directions with a fixed one-way
-// delay, emulating the WAN round trip of the paper's hybrid deployment
-// (remote producers on edge/HPC resources, fabric in the cloud). It is
-// what makes the pipelining gate meaningful on any host: on loopback
-// there is no latency to hide, so serial and pipelined clients converge
-// on per-op CPU cost — the regime the transport was built for is the
-// remote one.
+// delayProxy is testbed.DelayProxy with benchmark-scoped cleanup: the
+// emulated WAN link that makes the pipelining and streaming gates
+// meaningful on any host (on loopback there is no latency to hide).
 func delayProxy(b *testing.B, target string, oneWay time.Duration) string {
 	b.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	addr, stop, err := testbed.DelayProxy(target, oneWay)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(func() { ln.Close() })
-	go func() {
-		for {
-			src, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			dst, err := net.Dial("tcp", target)
-			if err != nil {
-				src.Close()
-				return
-			}
-			go delayCopy(dst, src, oneWay)
-			go delayCopy(src, dst, oneWay)
-		}
-	}()
-	return ln.Addr().String()
-}
-
-// delayCopy relays src to dst, releasing each chunk only after the
-// one-way delay has elapsed (ordering preserved).
-func delayCopy(dst, src net.Conn, oneWay time.Duration) {
-	type chunk struct {
-		due  time.Time
-		data []byte
-	}
-	ch := make(chan chunk, 4096)
-	go func() {
-		defer dst.Close()
-		for c := range ch {
-			time.Sleep(time.Until(c.due))
-			if _, err := dst.Write(c.data); err != nil {
-				return
-			}
-		}
-	}()
-	defer close(ch)
-	buf := make([]byte, 64<<10)
-	for {
-		n, err := src.Read(buf)
-		if n > 0 {
-			ch <- chunk{due: time.Now().Add(oneWay), data: append([]byte(nil), buf[:n]...)}
-		}
-		if err != nil {
-			return
-		}
-	}
+	b.Cleanup(stop)
+	return addr
 }
 
 // BenchmarkRemoteProducePipelined gates the pipelined wire transport:
@@ -285,13 +236,14 @@ func BenchmarkRemoteProducePipelined(b *testing.B) {
 	b.ReportMetric(pipelined/serial, "speedup_x")
 }
 
-// BenchmarkWireHeaderAllocs gates the v2 header codec: one full fetch
-// header round trip — request encode+decode plus response (with a
-// 64-event dense offset run) encode+decode — must stay within 1
-// alloc/op. The single allocation is the decoded topic string; encode
-// is allocation-free into a reused buffer, and the dense-run offsets
-// decode into the response's inline run array. The v1 JSON path for the
-// identical headers is reported alongside as the regression baseline.
+// BenchmarkWireHeaderAllocs gates the v2 header codec on the server's
+// actual decode path: one full fetch header round trip — request encode
+// + interned decode (the per-connection topic intern table from PR 4)
+// plus response (with a 64-event dense offset run) encode+decode — must
+// be allocation-free once the intern table is warm. PR 3 left exactly
+// one allocation here (the decoded topic string); the interner removes
+// it. The v1 JSON path for the identical headers is reported alongside
+// as the regression baseline.
 func BenchmarkWireHeaderAllocs(b *testing.B) {
 	req := wire.FetchReq{Topic: "bench", Partition: 3, Offset: 123456, MaxEvents: 500, MaxBytes: 2 << 20}
 	evs := make([]event.Event, 64)
@@ -304,9 +256,10 @@ func BenchmarkWireHeaderAllocs(b *testing.B) {
 	var reqBuf, respBuf []byte
 	var rq wire.FetchReq
 	var rs wire.FetchResp
+	var interner wire.Interner
 	run := func() {
 		reqBuf = wire.AppendRequestV2(reqBuf[:0], 7, &req)
-		if _, err := wire.DecodeRequestV2(reqBuf, &rq); err != nil {
+		if _, err := wire.DecodeRequestV2Interned(reqBuf, &rq, &interner); err != nil {
 			b.Fatal(err)
 		}
 		respBuf = wire.AppendResponseV2(respBuf[:0], op, 7, &resp)
@@ -316,8 +269,8 @@ func BenchmarkWireHeaderAllocs(b *testing.B) {
 	}
 	run()
 	allocs := testing.AllocsPerRun(200, run)
-	if allocs > 1 {
-		b.Fatalf("v2 header encode+decode allocates %.1f times, budget 1", allocs)
+	if allocs > 0 {
+		b.Fatalf("v2 header encode+interned decode allocates %.1f times, budget 0", allocs)
 	}
 	b.SetBytes(int64(len(reqBuf) + len(respBuf)))
 	b.ResetTimer()
@@ -426,4 +379,113 @@ func BenchmarkUnmarshalBatchAllocs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamingFetch gates PR 4's tentpole: the same consume
+// workload — a preloaded single-partition backlog drained through the
+// SDK consumer — crosses an emulated remote link (2 ms RTT) through the
+// PR 2/3 pipelined request/response fetcher (streaming masked out of
+// negotiation) and through a negotiated fetch stream (credit-based
+// server push). Request/response pays one round trip per batch however
+// well it pipelines; the stream pays round trips only for the open and
+// the occasional credit grant, so it must beat 2x the pipelined
+// throughput in the same run or the benchmark fails.
+func BenchmarkStreamingFetch(b *testing.B) {
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(2, 2, 8); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.CreateTopic("sf", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		b.Fatal(err)
+	}
+	const total, batch = 24000, 400
+	evs := make([]event.Event, batch)
+	for i := range evs {
+		evs[i] = event.Event{Value: make([]byte, 200)}
+	}
+	for n := 0; n < total; n += batch {
+		if _, err := f.Produce("", "sf", 0, evs, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := wire.NewServer(f)
+	srv.AllowAnonymous = true
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	remote := delayProxy(b, addr, time.Millisecond)
+	dial := func(disableStreaming bool) *wire.Client {
+		c, err := wire.DialOptions(remote, wire.Options{Anonymous: true, PoolSize: 1, DisableStreaming: disableStreaming})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	// consume drains the full backlog through the SDK consumer and
+	// returns events/s. Prefetch on for both sides: the baseline is the
+	// PR 2 double-buffered pipelined fetcher at its best.
+	consume := func(c *wire.Client) float64 {
+		cons := client.NewConsumer(c, client.ConsumerConfig{
+			Start: client.StartEarliest, Prefetch: true,
+			MaxPollEvents: 500, PollWait: 50 * time.Millisecond,
+		})
+		defer cons.Close()
+		if err := cons.Assign("sf", 0); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		got := 0
+		for got < total {
+			polled, err := cons.Poll(500)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += len(polled)
+		}
+		return float64(total) / time.Since(start).Seconds()
+	}
+	pipeClient, streamClient := dial(true), dial(false)
+	defer pipeClient.Close()
+	defer streamClient.Close()
+	if feats := streamClient.Features(); feats&wire.FeatStreamFetch == 0 {
+		b.Fatal("streaming fetch not negotiated")
+	}
+	if feats := pipeClient.Features(); feats&wire.FeatStreamFetch != 0 {
+		b.Fatal("baseline client negotiated streaming")
+	}
+	pipelined := consume(pipeClient)
+	streamed := consume(streamClient)
+	if streamed < 2*pipelined {
+		b.Fatalf("streaming fetch %.0f events/s < 2x pipelined %.0f events/s over the same link", streamed, pipelined)
+	}
+	b.SetBytes(200 * 500)
+	b.ResetTimer()
+	// Timed loop: steady-state streaming polls over the same link,
+	// re-seeking to the backlog start when it drains.
+	cons := client.NewConsumer(streamClient, client.ConsumerConfig{
+		Start: client.StartEarliest, MaxPollEvents: 500, PollWait: 50 * time.Millisecond,
+	})
+	defer cons.Close()
+	if err := cons.Assign("sf", 0); err != nil {
+		b.Fatal(err)
+	}
+	consumed := 0
+	for i := 0; i < b.N; i++ {
+		polled, err := cons.Poll(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumed += len(polled)
+		if consumed >= total {
+			consumed = 0
+			cons.Seek("sf", 0, 0)
+		}
+	}
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(pipelined, "pipelined_events/s")
+	b.ReportMetric(streamed, "streamed_events/s")
+	b.ReportMetric(streamed/pipelined, "speedup_x")
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// runClusterBench compares leader-direct routing against proxying
+// through one listener on this host, over emulated 2 ms links — the
+// operator-facing twin of the BenchmarkLeaderDirectRouting CI gate,
+// running the identical testbed.ClusterRoutingFixture: a clusternet
+// fabric with every broker behind its own link versus the same fabric
+// behind a single all-partition listener reached through a forwarding
+// hop (what routing via one frontend broker costs).
+func runClusterBench(brokers int) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if brokers < 2 {
+		brokers = 3
+	}
+	const rounds, batchEvents, eventSize = 60, 16, 1024
+	workers := 2 * brokers
+	fx, err := testbed.NewClusterRoutingFixture(brokers, workers, rounds, batchEvents, eventSize, time.Millisecond)
+	if err != nil {
+		fail(err)
+	}
+	defer fx.Close()
+	if _, err := fx.Run(fx.Direct); err != nil { // warm every leader link
+		fail(err)
+	}
+	proxiedThru, err := fx.Run(fx.Proxied)
+	if err != nil {
+		fail(err)
+	}
+	directThru, err := fx.Run(fx.Direct)
+	if err != nil {
+		fail(err)
+	}
+
+	t := &testbed.Table{
+		Title: fmt.Sprintf("Produce routing over emulated 2 ms links (%d brokers, %d partitions, %d workers, %d KB batches)",
+			brokers, fx.Partitions, fx.Workers, batchEvents*eventSize>>10),
+		Columns: []string{"Routing", "Thru (ev/s)", "Speedup", "Misroutes"},
+	}
+	t.Add("proxy through one listener", int(proxiedThru), "1.0x", "-")
+	t.Add("leader-direct (OpMetadata)", int(directThru), fmt.Sprintf("%.1fx", directThru/proxiedThru), fmt.Sprint(fx.Cluster.Misroutes()))
+	fmt.Println(t)
+}

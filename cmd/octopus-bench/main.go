@@ -7,6 +7,7 @@
 //	octopus-bench -table cost     # §VII-C cost analysis
 //	octopus-bench -real           # reduced-scale run on the real fabric
 //	octopus-bench -stream         # consume-transport comparison (PR 2-4)
+//	octopus-bench -cluster        # leader-direct vs proxied routing (PR 5)
 package main
 
 import (
@@ -25,10 +26,12 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	real := flag.Bool("real", false, "also run the reduced-scale real-fabric shape check")
 	stream := flag.Bool("stream", false, "compare request/response, pipelined and streaming consume over an emulated remote link")
+	clusterBench := flag.Bool("cluster", false, "compare leader-direct routing vs proxying through one listener over emulated remote links")
+	clusterBrokers := flag.Int("cluster-brokers", 3, "broker count for -cluster")
 	csvDir := flag.String("csv", "", "export every artifact as CSV into this directory")
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" && !*real && !*stream && *csvDir == "" {
+	if !*all && *table == "" && *figure == "" && !*real && !*stream && !*clusterBench && *csvDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +84,9 @@ func main() {
 	}
 	if *stream {
 		runStreamBench()
+	}
+	if *clusterBench {
+		runClusterBench(*clusterBrokers)
 	}
 }
 

@@ -5,6 +5,7 @@
 //	octopus-cli -addr 127.0.0.1:9092 -key AKIA... -secret ... produce -topic t -value '{"x":1}'
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous consume -topic t -from earliest -max 10
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous offsets -topic t
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous metadata
 package main
 
 import (
@@ -28,7 +29,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets|metadata [subflags]")
 		os.Exit(2)
 	}
 
@@ -54,8 +55,51 @@ func main() {
 		consume(conn, args[1:])
 	case "offsets":
 		offsets(conn, args[1:])
+	case "metadata":
+		metadata(conn, args[1:])
 	default:
 		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+// metadata prints the cluster metadata document — brokers (id, address,
+// liveness), topics and per-partition leadership — from the OpMetadata
+// path, the same document the client's leader-direct router routes by.
+func metadata(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("metadata", flag.ExitOnError)
+	topic := fs.String("topic", "", "restrict to one topic (default: all)")
+	_ = fs.Parse(args)
+	var topics []string
+	if *topic != "" {
+		topics = append(topics, *topic)
+	}
+	meta, err := conn.ClusterMetadata(topics...)
+	if err != nil {
+		log.Fatalf("metadata: %v (the server may predate FeatClusterMeta)", err)
+	}
+	fmt.Printf("metadata epoch %d, leader-direct routing %v\n", meta.Epoch, conn.RouterEnabled())
+	fmt.Printf("brokers (%d):\n", len(meta.Brokers))
+	for _, br := range meta.Brokers {
+		state := "up"
+		if !br.Up {
+			state = "down"
+		}
+		addr := br.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Printf("  broker %-3d %-24s %s\n", br.ID, addr, state)
+	}
+	fmt.Printf("topics (%d):\n", len(meta.Topics))
+	for _, t := range meta.Topics {
+		fmt.Printf("  %s (%d partitions)\n", t.Name, len(t.Partitions))
+		for i, p := range t.Partitions {
+			leader := fmt.Sprintf("broker-%d", p.Leader)
+			if p.Leader < 0 {
+				leader = "NONE"
+			}
+			fmt.Printf("    partition %d: leader=%s replicas=%v isr=%v\n", i, leader, p.Replicas, p.ISR)
+		}
 	}
 }
 

@@ -5,6 +5,14 @@
 //
 //	octopus-server -brokers 4 -wire :9092 -http :8080
 //
+// With -cluster, every broker gets its own wire listener (ports
+// ascending from -wire's port: broker 0 on the base port, broker 1 on
+// base+1, ...), scoped to the partitions it leads, and clients that
+// negotiate FeatClusterMeta discover the whole cluster from any one of
+// them and dial partition leaders directly:
+//
+//	octopus-server -brokers 4 -cluster -wire 127.0.0.1:9092
+//
 // For a first run, -bootstrap-user creates an identity and prints a
 // token and fabric key so the CLI can connect immediately.
 package main
@@ -13,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
+	"repro/internal/clusternet"
 	"repro/internal/core"
 	"repro/internal/trigger"
 	"repro/internal/wire"
@@ -27,6 +38,7 @@ func main() {
 	brokers := flag.Int("brokers", 2, "number of broker nodes")
 	vcpus := flag.Int("vcpus", 2, "vCPUs per broker (capacity model)")
 	wireAddr := flag.String("wire", "127.0.0.1:9092", "event fabric TCP listen address")
+	clusterMode := flag.Bool("cluster", false, "one wire listener per broker (ports ascending from -wire's), leader-direct routing")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "web service HTTP listen address")
 	bootstrapUser := flag.String("bootstrap-user", "", "create this identity at startup and print credentials")
 	anonymous := flag.Bool("anonymous", false, "allow unauthenticated wire connections")
@@ -67,17 +79,34 @@ func main() {
 		fmt.Printf("secret access key:  %s\n", key.Secret)
 	}
 
-	listen := oct.ListenWire
 	mode := ""
 	if *anonymous {
-		listen = oct.ListenWireAnonymous
 		mode = " (anonymous)"
 	}
-	addr, err := listen(*wireAddr)
-	if err != nil {
-		log.Fatalf("wire listen: %v", err)
+	if *clusterMode {
+		addrs, err := clusterAddrs(*wireAddr, *brokers)
+		if err != nil {
+			log.Fatalf("wire listen: %v", err)
+		}
+		cnet, err := clusternet.Serve(oct.Fabric, clusternet.Options{AllowAnonymous: *anonymous, Addrs: addrs})
+		if err != nil {
+			log.Fatalf("wire listen: %v", err)
+		}
+		defer cnet.Close()
+		for _, id := range oct.Fabric.NodeIDs() {
+			log.Printf("broker %d wire endpoint%s on %s (leader-scoped, protocol v1-v%d)", id, mode, cnet.Addr(id), wire.MaxProtocol)
+		}
+	} else {
+		listen := oct.ListenWire
+		if *anonymous {
+			listen = oct.ListenWireAnonymous
+		}
+		addr, err := listen(*wireAddr)
+		if err != nil {
+			log.Fatalf("wire listen: %v", err)
+		}
+		log.Printf("wire endpoint%s on %s (protocol v1-v%d, v2 + streaming fetch negotiated per connection)", mode, addr, wire.MaxProtocol)
 	}
-	log.Printf("wire endpoint%s on %s (protocol v1-v%d, v2 + streaming fetch negotiated per connection)", mode, addr, wire.MaxProtocol)
 
 	go func() {
 		log.Printf("web service on http://%s", *httpAddr)
@@ -100,4 +129,26 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Println("shutting down")
+}
+
+// clusterAddrs derives each broker's listen address from the base wire
+// address: broker i binds the base port + i.
+func clusterAddrs(base string, brokers int) (map[int]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-wire %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-wire %q: %w", base, err)
+	}
+	addrs := make(map[int]string, brokers)
+	for i := 0; i < brokers; i++ {
+		p := port
+		if port != 0 {
+			p = port + i
+		}
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return addrs, nil
 }

@@ -9,6 +9,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,8 +104,31 @@ func (n *Node) existingLog(tp TP) (*eventlog.Log, bool) {
 	return l, ok
 }
 
+// ReplicaLog returns the node's replica log for tp if it hosts one —
+// exported so cluster tests and tools can probe per-broker replica
+// state (catch-up progress, end offsets) directly.
+func (n *Node) ReplicaLog(tp TP) (*eventlog.Log, bool) {
+	return n.existingLog(tp)
+}
+
 // Down reports whether the node is stopped (failure injection).
 func (n *Node) Down() bool { return n.down.Load() }
+
+// SetAddr records the node's advertised wire address (and keeps it for
+// re-registration on restart). The clusternet serving layer calls it
+// once per broker after binding the broker's listener.
+func (n *Node) SetAddr(addr string) {
+	n.mu.Lock()
+	n.Info.Addr = addr
+	n.mu.Unlock()
+}
+
+// InfoCopy returns a consistent copy of the node's description.
+func (n *Node) InfoCopy() cluster.BrokerInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.Info
+}
 
 // Fabric is the assembled event fabric: controller + broker nodes +
 // group coordinator + security. All client-facing operations go through
@@ -199,6 +223,83 @@ func (f *Fabric) Node(id int) (*Node, bool) {
 	return n, ok
 }
 
+// NodeIDs returns the ids of every broker ever added (up or down),
+// sorted.
+func (f *Fabric) NodeIDs() []int {
+	f.mu.RLock()
+	ids := make([]int, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	f.mu.RUnlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// PartitionLeader resolves the partition's current leader broker id
+// through the epoch-keyed route cache (no registry read on the hot
+// path). A leaderless partition returns -1 with ErrLeaderUnavailable.
+// The per-broker wire servers use it to refuse misrouted data-plane
+// requests with ErrNotLeader instead of silently serving them.
+func (f *Fabric) PartitionLeader(topic string, partition int) (int, error) {
+	rt, err := f.route(topic)
+	if err != nil {
+		return -1, err
+	}
+	if partition < 0 || partition >= len(rt.parts) {
+		return -1, fmt.Errorf("%w: %s/%d", ErrNoPartition, topic, partition)
+	}
+	id := rt.parts[partition].leaderID
+	if id < 0 {
+		return -1, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
+	}
+	return id, nil
+}
+
+// BrokerStatus is one broker's entry in a cluster snapshot.
+type BrokerStatus struct {
+	Info cluster.BrokerInfo
+	Up   bool
+}
+
+// ClusterSnapshot is the cluster-wide metadata document served by the
+// wire layer's OpMetadata: the epoch it was built at, every broker the
+// fabric knows (including down ones, so clients can tell "gone" from
+// "never existed") and the requested topics' full placement.
+type ClusterSnapshot struct {
+	Epoch   int64
+	Brokers []BrokerStatus
+	Topics  []*cluster.TopicMeta
+}
+
+// ClusterSnapshot builds the metadata document for the given topics
+// (nil or empty = every topic). The epoch is read before the content,
+// the same ordering route-cache builds use: a concurrent mutation can
+// only make the snapshot look older than it is, so a client keying its
+// routing table by the epoch re-fetches rather than trusting stale
+// state.
+func (f *Fabric) ClusterSnapshot(topics []string) ClusterSnapshot {
+	snap := ClusterSnapshot{Epoch: f.Ctl.Epoch()}
+	for _, id := range f.NodeIDs() {
+		n, ok := f.Node(id)
+		if !ok {
+			continue
+		}
+		snap.Brokers = append(snap.Brokers, BrokerStatus{Info: n.InfoCopy(), Up: !n.Down()})
+	}
+	if len(topics) == 0 {
+		topics = f.Ctl.Topics()
+	}
+	for _, t := range topics {
+		meta, err := f.Ctl.Topic(t)
+		if err != nil {
+			continue // deleted or unknown: simply absent from the response
+		}
+		snap.Topics = append(snap.Topics, meta)
+	}
+	return snap
+}
+
 // logConfig derives the storage config for a topic.
 func logConfig(cfg cluster.TopicConfig) eventlog.Config {
 	lc := eventlog.DefaultConfig()
@@ -232,7 +333,10 @@ func partitionFor(ev *event.Event, parts int) int {
 		return 0
 	}
 	if len(ev.Key) > 0 {
-		return int(fnv1a(ev.Key) % uint32(parts))
+		// Shared with the leader-direct wire client's pre-partitioning:
+		// both sides MUST place a key identically or client-side
+		// bucketing misroutes.
+		return PartitionForKey(ev.Key, parts)
 	}
 	return int(rrCounter.Add(1) % uint64(parts))
 }
@@ -608,7 +712,7 @@ func (f *Fabric) RestartBroker(id int) error {
 			}
 		}
 	}
-	sess, err := f.Ctl.RegisterBroker(n.Info)
+	sess, err := f.Ctl.RegisterBroker(n.InfoCopy())
 	if err != nil {
 		return err
 	}

@@ -196,6 +196,17 @@ func fnv1a(b []byte) uint32 {
 	return h
 }
 
+// PartitionForKey is the fabric's keyed partitioner (FNV-1a over the
+// key, modulo the partition count), exported so leader-direct wire
+// clients can pre-partition a keyed batch on their side and still land
+// every event on exactly the partition the fabric itself would pick.
+func PartitionForKey(key []byte, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	return int(fnv1a(key) % uint32(parts))
+}
+
 // arenaClone deep-copies src into dst buckets (or a single flat batch
 // when buckets is nil) using one contiguous arena allocation for all keys
 // and values: the per-event Clone of the seed cost one to two allocations

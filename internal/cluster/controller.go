@@ -66,6 +66,35 @@ func (c *Controller) RegisterBroker(info BrokerInfo) (int64, error) {
 	return sess, nil
 }
 
+// SetBrokerAddr updates a registered broker's advertised address — the
+// clusternet serving layer binds each broker's wire listener after the
+// broker registers (the OS picks ephemeral ports), then publishes the
+// bound address here so metadata responses can route clients to it.
+// Bumps the metadata epoch: an address change invalidates every
+// client-side routing table.
+func (c *Controller) SetBrokerAddr(id int, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, _, err := c.reg.Get(brokerPath(id))
+	if err != nil {
+		return fmt.Errorf("cluster: broker %d: %w", id, err)
+	}
+	var info BrokerInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return err
+	}
+	info.Addr = addr
+	nd, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	if _, err := c.reg.Set(brokerPath(id), nd); err != nil {
+		return err
+	}
+	c.bumpEpoch()
+	return nil
+}
+
 // LiveBrokers returns the sorted ids of registered brokers.
 func (c *Controller) LiveBrokers() []int {
 	names := c.reg.Children("/brokers")

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -44,6 +45,18 @@ type Options struct {
 	// streaming-capable servers. Used by interop tests and same-run
 	// benchmark baselines.
 	DisableStreaming bool
+	// DisableClusterMeta masks FeatClusterMeta out of negotiation: the
+	// client never fetches cluster metadata and routes every request
+	// to its seed address with slot hashing — the pre-cluster
+	// behavior. Used by interop tests and single-listener baselines.
+	DisableClusterMeta bool
+	// StreamWindowBytes, when > 0, adds a byte-denominated window to
+	// streaming-fetch sessions: besides the event-credit window, the
+	// server stops pushing once this many un-granted payload bytes are
+	// outstanding, so a stalled reader's server-side buffering is
+	// bounded in bytes even when event sizes vary wildly. Zero keeps
+	// the event-credit-only semantics.
+	StreamWindowBytes int
 }
 
 // features is the feature set this client offers in negotiation.
@@ -51,6 +64,9 @@ func (o *Options) features() uint32 {
 	feats := allFeatures
 	if o.DisableStreaming {
 		feats &^= FeatStreamFetch
+	}
+	if o.DisableClusterMeta {
+		feats &^= FeatClusterMeta
 	}
 	return feats
 }
@@ -61,6 +77,12 @@ func (o *Options) fill() {
 	}
 	if o.MaxVersion <= 0 || o.MaxVersion > MaxProtocol {
 		o.MaxVersion = MaxProtocol
+	}
+	if o.StreamWindowBytes > maxStreamCreditBytes {
+		// Clamp to the server's own bound: asking for more would leave
+		// the grant threshold (half the requested window) beyond what
+		// the server will ever push, stalling the stream permanently.
+		o.StreamWindowBytes = maxStreamCreditBytes
 	}
 }
 
@@ -75,20 +97,46 @@ func (o *Options) fill() {
 // queued frames into one write), and a reader goroutine dispatches
 // responses to their waiting callers by correlation ID. Many requests
 // from many goroutines are therefore in flight at once. On top of
-// that, the client keeps a small connection pool with per-partition
-// affinity: requests for the same topic-partition always share one
-// connection (preserving ordering), while other partitions proceed on
-// their own connections.
+// that, the client keeps a small connection pool per broker endpoint
+// with per-partition affinity: requests for the same topic-partition
+// always share one connection (preserving ordering), while other
+// partitions proceed on their own connections.
+//
+// When the seed connection negotiates FeatClusterMeta, the client is a
+// metadata-driven router (router.go): it learns every broker's
+// advertised address and each partition's leader from OpMetadata,
+// dials partition leaders directly, and on ErrNotLeader or a broker
+// connection failure re-fetches metadata and re-routes. Without the
+// feature every request goes to the seed address — the single-listener
+// behavior.
 type Client struct {
-	addr string
+	// seed is the bootstrap address: the one the caller dialed, which
+	// also carries control-plane ops and every request the router
+	// cannot place.
+	seed string
 	opts Options
 
 	mu sync.Mutex
-	// slots are the pool's connections, dialed lazily; slot 0 carries
-	// control-plane ops and is established at Dial time so credential
-	// errors surface immediately.
-	slots  []*wireConn
+	// eps are the per-address connection pools, created lazily as the
+	// router resolves leaders. Single-listener clients only ever hold
+	// the seed entry.
+	eps    map[string]*endpoint
 	closed bool
+
+	// rt is the cluster routing table (router.go).
+	rt clusterRouter
+	// prodRR round-robins unkeyed events across partitions when the
+	// client pre-partitions batches for leader-direct produce.
+	prodRR atomic.Uint64
+}
+
+// endpoint is one broker address's connection pool.
+type endpoint struct {
+	addr string
+	// slots are the pool's connections, dialed lazily; the seed's
+	// slot 0 carries control-plane ops and is established at Dial time
+	// so credential errors surface immediately.
+	slots []*wireConn
 	// slotMu serializes (re)dials per slot, so the dial + handshake of
 	// one connection never blocks requests riding other, healthy pool
 	// connections (c.mu is held only for the map-in/map-out).
@@ -192,11 +240,18 @@ func DialAnonymous(addr string) (*Client, error) {
 // DialOptions connects with explicit pool and protocol options.
 func DialOptions(addr string, o Options) (*Client, error) {
 	o.fill()
-	c := &Client{addr: addr, opts: o, slots: make([]*wireConn, o.PoolSize), slotMu: make([]sync.Mutex, o.PoolSize)}
-	// Establish slot 0 eagerly so bad credentials or an unreachable
-	// server surface at dial time.
-	if _, err := c.conn(0); err != nil {
+	c := &Client{seed: addr, opts: o, eps: make(map[string]*endpoint)}
+	// Establish the seed's slot 0 eagerly so bad credentials or an
+	// unreachable server surface at dial time.
+	wc, err := c.connAt(addr, 0)
+	if err != nil {
 		return nil, err
+	}
+	// When the server offered cluster metadata, bootstrap the routing
+	// table now: from here on, data-plane requests dial partition
+	// leaders directly.
+	if wc.featuresNow()&FeatClusterMeta != 0 {
+		_ = c.refreshMetadata() // failure leaves the router disabled: seed-only routing
 	}
 	return c, nil
 }
@@ -205,15 +260,10 @@ func DialOptions(addr string, o Options) (*Client, error) {
 // server (ProtocolV1 for legacy peers), or 0 before any connection is
 // established.
 func (c *Client) ProtocolVersion() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, wc := range c.slots {
-		if wc != nil {
-			wc.mu.Lock()
-			v := wc.version
-			wc.mu.Unlock()
-			return v
-		}
+	if wc := c.seedConn(); wc != nil {
+		wc.mu.Lock()
+		defer wc.mu.Unlock()
+		return wc.version
 	}
 	return 0
 }
@@ -221,17 +271,41 @@ func (c *Client) ProtocolVersion() int {
 // Features reports the feature bitmask negotiated with the server (0
 // for v1 peers or before any connection is established).
 func (c *Client) Features() uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, wc := range c.slots {
-		if wc != nil {
-			wc.mu.Lock()
-			f := wc.features
-			wc.mu.Unlock()
-			return f
-		}
+	if wc := c.seedConn(); wc != nil {
+		return wc.featuresNow()
 	}
 	return 0
+}
+
+// seedConn returns a live connection for version/feature probes: the
+// seed endpoint's when one is established, else any endpoint's — after
+// the seed broker dies, the client keeps serving through other
+// brokers, and its negotiated version must not read as 0.
+func (c *Client) seedConn() *wireConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep := c.eps[c.seed]; ep != nil {
+		for _, wc := range ep.slots {
+			if wc != nil {
+				return wc
+			}
+		}
+	}
+	for _, ep := range c.eps {
+		for _, wc := range ep.slots {
+			if wc != nil {
+				return wc
+			}
+		}
+	}
+	return nil
+}
+
+// featuresNow snapshots the connection's negotiated feature set.
+func (wc *wireConn) featuresNow() uint32 {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.features
 }
 
 // slotFor maps a topic-partition to its pool connection. Key-routed
@@ -255,48 +329,76 @@ func (c *Client) slotFor(topic string, partition int) int {
 	return int(h % uint32(n))
 }
 
-// conn returns slot i's connection, dialing if there is none.
-func (c *Client) conn(i int) (*wireConn, error) {
-	c.slotMu[i].Lock()
-	defer c.slotMu[i].Unlock()
+// endpoint returns (creating if needed) the connection pool for addr.
+func (c *Client) endpoint(addr string) (*endpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	ep := c.eps[addr]
+	if ep == nil {
+		ep = &endpoint{
+			addr:   addr,
+			slots:  make([]*wireConn, c.opts.PoolSize),
+			slotMu: make([]sync.Mutex, c.opts.PoolSize),
+		}
+		c.eps[addr] = ep
+	}
+	return ep, nil
+}
+
+// connAt returns slot i of addr's pool, dialing if there is none.
+func (c *Client) connAt(addr string, i int) (*wireConn, error) {
+	ep, err := c.endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	ep.slotMu[i].Lock()
+	defer ep.slotMu[i].Unlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrConnClosed
 	}
-	if wc := c.slots[i]; wc != nil {
+	if wc := ep.slots[i]; wc != nil {
 		c.mu.Unlock()
 		return wc, nil
 	}
 	c.mu.Unlock()
-	return c.installConn(i)
+	return c.installConn(ep, i)
 }
 
-// reconnect replaces slot i's connection, unless another caller already
-// has.
-func (c *Client) reconnect(i int, old *wireConn) (*wireConn, error) {
-	c.slotMu[i].Lock()
-	defer c.slotMu[i].Unlock()
+// reconnectAt replaces slot i of addr's pool, unless another caller
+// already has.
+func (c *Client) reconnectAt(addr string, i int, old *wireConn) (*wireConn, error) {
+	ep, err := c.endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	ep.slotMu[i].Lock()
+	defer ep.slotMu[i].Unlock()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrConnClosed
 	}
-	if c.slots[i] != nil && c.slots[i] != old {
-		wc := c.slots[i]
+	if ep.slots[i] != nil && ep.slots[i] != old {
+		wc := ep.slots[i]
 		c.mu.Unlock()
 		return wc, nil
 	}
-	c.slots[i] = nil
+	ep.slots[i] = nil
 	c.mu.Unlock()
-	return c.installConn(i)
+	return c.installConn(ep, i)
 }
 
-// installConn dials a fresh connection and publishes it as slot i.
-// Callers hold slotMu[i] (but not c.mu, so other slots keep flowing
-// during the dial and handshake round trips).
-func (c *Client) installConn(i int) (*wireConn, error) {
-	wc, err := c.connect()
+// installConn dials a fresh connection and publishes it as slot i of
+// the endpoint. Callers hold ep.slotMu[i] (but not c.mu, so other
+// slots and endpoints keep flowing during the dial and handshake round
+// trips).
+func (c *Client) installConn(ep *endpoint, i int) (*wireConn, error) {
+	wc, err := c.connect(ep.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +408,7 @@ func (c *Client) installConn(i int) (*wireConn, error) {
 		wc.fail(ErrConnClosed)
 		return nil, ErrConnClosed
 	}
-	c.slots[i] = wc
+	ep.slots[i] = wc
 	c.mu.Unlock()
 	return wc, nil
 }
@@ -314,10 +416,10 @@ func (c *Client) installConn(i int) (*wireConn, error) {
 // connect dials, starts the writer/reader goroutines, negotiates the
 // protocol version, and authenticates. It touches only immutable
 // client state, so no lock is held across the network round trips.
-func (c *Client) connect() (*wireConn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, IOTimeout)
+func (c *Client) connect(addr string) (*wireConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, IOTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	wc := &wireConn{
 		conn:    conn,
@@ -373,8 +475,8 @@ func (c *Client) connect() (*wireConn, error) {
 	return wc, nil
 }
 
-// Close shuts every pool connection, failing all pending requests with
-// ErrConnClosed.
+// Close shuts every pool connection on every endpoint, failing all
+// pending requests with ErrConnClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -382,11 +484,13 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conns := make([]*wireConn, 0, len(c.slots))
-	for i, wc := range c.slots {
-		if wc != nil {
-			conns = append(conns, wc)
-			c.slots[i] = nil
+	var conns []*wireConn
+	for _, ep := range c.eps {
+		for i, wc := range ep.slots {
+			if wc != nil {
+				conns = append(conns, wc)
+				ep.slots[i] = nil
+			}
 		}
 	}
 	c.mu.Unlock()
@@ -688,13 +792,14 @@ func (wc *wireConn) readLoop() {
 	}
 }
 
-// call submits a typed request on the partition-affine connection,
-// waits for its response, and retries once over a fresh connection on
-// transport failure — the SDK's retry loop handles persistent failure.
-// The returned error is either a transport error or the server's
-// reconstructed domain sentinel.
-func (c *Client) call(slot int, req ReqMsg, resp respMsg, payload, arena []byte) (*call, error) {
-	wc, err := c.conn(slot)
+// callAt submits a typed request on the addressed endpoint's
+// partition-affine connection, waits for its response, and retries
+// once over a fresh connection to the same address on transport
+// failure — the router (router.go) and the SDK's retry loop handle
+// persistent failure and re-routing. The returned error is either a
+// transport error or the server's reconstructed domain sentinel.
+func (c *Client) callAt(addr string, slot int, req ReqMsg, resp respMsg, payload, arena []byte) (*call, error) {
+	wc, err := c.connAt(addr, slot)
 	if err != nil {
 		return nil, err
 	}
@@ -714,7 +819,7 @@ func (c *Client) call(slot int, req ReqMsg, resp respMsg, payload, arena []byte)
 		// connection is fine and a retry would fail identically.
 		return nil, derr
 	}
-	wc2, rerr := c.reconnect(slot, wc)
+	wc2, rerr := c.reconnectAt(addr, slot, wc)
 	if rerr != nil {
 		return nil, derr
 	}
@@ -732,12 +837,30 @@ var producePool = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); retu
 
 // Produce implements client.Transport. identity is established by the
 // connection's credentials; the parameter is ignored.
+//
+// With the router active, a per-event-routed batch (partition < 0) is
+// pre-partitioned client-side — keyed events through the fabric's own
+// FNV-1a partitioner, unkeyed events round-robin — and each bucket is
+// produced directly against its partition's leader. Without the
+// router the whole batch travels to the seed address, which routes per
+// event exactly as before.
 func (c *Client) Produce(_ string, topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
+	if partition < 0 && c.RouterEnabled() {
+		if parts, ok := c.produceParts(topic); ok && parts > 0 {
+			return c.producePartitioned(topic, parts, evs, acks)
+		}
+	}
+	return c.produceTo(topic, partition, evs, acks)
+}
+
+// produceTo produces one batch to a single partition (or, when
+// partition < 0, to the seed's per-event router).
+func (c *Client) produceTo(topic string, partition int, evs []event.Event, acks broker.Acks) (int64, error) {
 	req := ProduceReq{Topic: topic, Partition: partition, Acks: int(acks), NumEvents: len(evs)}
 	var resp ProduceResp
 	bp := producePool.Get().(*[]byte)
 	payload := event.AppendBatchMarshal((*bp)[:0], evs)
-	_, err := c.call(c.slotFor(topic, partition), &req, &resp, payload, nil)
+	_, err := c.dataCall(topic, partition, &req, &resp, payload, nil)
 	if cap(payload) <= maxPooledFrame {
 		*bp = payload[:0]
 		producePool.Put(bp)
@@ -748,11 +871,55 @@ func (c *Client) Produce(_ string, topic string, partition int, evs []event.Even
 	return resp.Offset, nil
 }
 
+// producePartitioned buckets a per-event-routed batch by partition and
+// produces every bucket concurrently against its leader. The returned
+// offset is the first bucket's base offset, matching the fabric's
+// Produce contract for multi-partition batches.
+func (c *Client) producePartitioned(topic string, parts int, evs []event.Event, acks broker.Acks) (int64, error) {
+	if parts == 1 || len(evs) == 0 {
+		return c.produceTo(topic, 0, evs, acks)
+	}
+	buckets := make([][]event.Event, parts)
+	order := make([]int, 0, parts)
+	for i := range evs {
+		var p int
+		if len(evs[i].Key) > 0 {
+			p = broker.PartitionForKey(evs[i].Key, parts)
+		} else {
+			p = int(c.prodRR.Add(1) % uint64(parts))
+		}
+		if buckets[p] == nil {
+			order = append(order, p)
+		}
+		buckets[p] = append(buckets[p], evs[i])
+	}
+	if len(order) == 1 {
+		return c.produceTo(topic, order[0], buckets[order[0]], acks)
+	}
+	offs := make([]int64, len(order))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for i, p := range order {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			offs[i], errs[i] = c.produceTo(topic, p, buckets[p], acks)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return offs[0], nil
+}
+
 // Fetch implements client.Transport.
 func (c *Client) Fetch(_ string, topic string, partition int, offset int64, maxEvents, maxBytes int) (broker.FetchResult, error) {
 	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes}
 	var resp FetchResp
-	cl, err := c.call(c.slotFor(topic, partition), &req, &resp, nil, nil)
+	cl, err := c.dataCall(topic, partition, &req, &resp, nil, nil)
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
@@ -788,8 +955,27 @@ func (c *Client) FetchBufferedWait(_ string, topic string, partition int, offset
 }
 
 func (c *Client) fetchBuffered(topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+	res, err := c.fetchBufferedAt(c.dataAddr(topic, partition), topic, partition, offset, maxEvents, maxBytes, wait, buf)
+	if err == nil || !c.RouterEnabled() || !rerouteable(err) {
+		return res, err
+	}
+	// The partition's leader moved or its broker connection failed:
+	// re-fetch metadata and retry once against the freshly resolved
+	// leader. Streaming sessions reopen there at the same offset — the
+	// consumer's position, which the new leader serves losslessly
+	// because acked events were replicated synchronously.
+	if rerr := c.refreshMetadata(); rerr != nil {
+		return res, err
+	}
+	return c.fetchBufferedAt(c.dataAddr(topic, partition), topic, partition, offset, maxEvents, maxBytes, wait, buf)
+}
+
+// fetchBufferedAt serves one buffered fetch from the addressed broker:
+// through a stream session when the connection negotiated streaming,
+// else request/response.
+func (c *Client) fetchBufferedAt(addr, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
 	slot := c.slotFor(topic, partition)
-	wc, err := c.conn(slot)
+	wc, err := c.connAt(addr, slot)
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
@@ -797,9 +983,9 @@ func (c *Client) fetchBuffered(topic string, partition int, offset int64, maxEve
 		res, serr, handled := c.fetchStream(wc, topic, partition, offset, maxEvents, maxBytes, wait)
 		if handled {
 			if serr != nil && !errors.Is(serr, ErrConnClosed) && wc.errNow() != nil {
-				// Transport failure mid-stream: mirror call()'s single
-				// retry over a fresh connection.
-				wc2, rerr := c.reconnect(slot, wc)
+				// Transport failure mid-stream: mirror callAt's single
+				// retry over a fresh connection to the same address.
+				wc2, rerr := c.reconnectAt(addr, slot, wc)
 				if rerr != nil {
 					return broker.FetchResult{}, serr
 				}
@@ -808,20 +994,20 @@ func (c *Client) fetchBuffered(topic string, partition int, offset int64, maxEve
 						return res2, serr2
 					}
 				}
-				return c.plainFetchBuffered(slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
+				return c.plainFetchBuffered(addr, slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
 			}
 			return res, serr
 		}
 	}
-	return c.plainFetchBuffered(slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
+	return c.plainFetchBuffered(addr, slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
 }
 
 // plainFetchBuffered is the request/response buffered fetch (protocol
 // v1 and v2 without streaming).
-func (c *Client) plainFetchBuffered(slot int, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
+func (c *Client) plainFetchBuffered(addr string, slot int, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
 	req := FetchReq{Topic: topic, Partition: partition, Offset: offset, MaxEvents: maxEvents, MaxBytes: maxBytes, WaitMaxMS: int(wait / time.Millisecond)}
 	var resp FetchResp
-	cl, err := c.call(slot, &req, &resp, nil, buf.Arena[:0])
+	cl, err := c.callAt(addr, slot, &req, &resp, nil, buf.Arena[:0])
 	if err != nil {
 		return broker.FetchResult{}, err
 	}
@@ -840,10 +1026,11 @@ func (c *Client) plainFetchBuffered(slot int, topic string, partition int, offse
 	return broker.FetchResult{Events: evs, HighWatermark: resp.HighWatermark, StartOffset: resp.StartOffset}, nil
 }
 
-// offsetCall runs a request whose response is a single offset.
-func (c *Client) offsetCall(slot int, req ReqMsg) (int64, error) {
+// offsetCall runs a partition-routed request whose response is a
+// single offset.
+func (c *Client) offsetCall(topic string, partition int, req ReqMsg) (int64, error) {
 	var resp OffsetResp
-	if _, err := c.call(slot, req, &resp, nil, nil); err != nil {
+	if _, err := c.dataCall(topic, partition, req, &resp, nil, nil); err != nil {
 		return 0, err
 	}
 	return resp.Offset, nil
@@ -851,24 +1038,24 @@ func (c *Client) offsetCall(slot int, req ReqMsg) (int64, error) {
 
 // EndOffset implements client.Transport.
 func (c *Client) EndOffset(topic string, partition int) (int64, error) {
-	return c.offsetCall(c.slotFor(topic, partition), &EndOffsetReq{Topic: topic, Partition: partition})
+	return c.offsetCall(topic, partition, &EndOffsetReq{Topic: topic, Partition: partition})
 }
 
 // StartOffset implements client.Transport.
 func (c *Client) StartOffset(topic string, partition int) (int64, error) {
-	return c.offsetCall(c.slotFor(topic, partition), &StartOffsetReq{Topic: topic, Partition: partition})
+	return c.offsetCall(topic, partition, &StartOffsetReq{Topic: topic, Partition: partition})
 }
 
 // OffsetForTime implements client.Transport.
 func (c *Client) OffsetForTime(topic string, partition int, t time.Time) (int64, error) {
-	return c.offsetCall(c.slotFor(topic, partition), &OffsetForTimeReq{Topic: topic, Partition: partition, TimeNano: t.UnixNano()})
+	return c.offsetCall(topic, partition, &OffsetForTimeReq{Topic: topic, Partition: partition, TimeNano: t.UnixNano()})
 }
 
 // TopicMeta implements client.Transport.
 func (c *Client) TopicMeta(topic string) (*cluster.TopicMeta, error) {
 	req := TopicMetaReq{Topic: topic}
 	var resp TopicMetaResp
-	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
+	if _, err := c.controlCall(&req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Meta, nil
@@ -878,7 +1065,7 @@ func (c *Client) TopicMeta(topic string) (*cluster.TopicMeta, error) {
 func (c *Client) JoinGroup(groupID, memberID string, topics []string) (broker.Assignment, error) {
 	req := JoinGroupReq{Group: groupID, Member: memberID, Topics: topics}
 	var resp JoinGroupResp
-	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
+	if _, err := c.controlCall(&req, &resp); err != nil {
 		return broker.Assignment{}, err
 	}
 	return broker.Assignment{Generation: resp.Generation, Partitions: resp.Partitions}, nil
@@ -887,14 +1074,14 @@ func (c *Client) JoinGroup(groupID, memberID string, topics []string) (broker.As
 // LeaveGroup implements client.Transport.
 func (c *Client) LeaveGroup(groupID, memberID string) {
 	req := LeaveGroupReq{Group: groupID, Member: memberID}
-	_, _ = c.call(0, &req, nil, nil, nil)
+	_, _ = c.controlCall(&req, nil)
 }
 
 // Heartbeat implements client.Transport.
 func (c *Client) Heartbeat(groupID, memberID string) (int, error) {
 	req := HeartbeatReq{Group: groupID, Member: memberID}
 	var resp HeartbeatResp
-	if _, err := c.call(0, &req, &resp, nil, nil); err != nil {
+	if _, err := c.controlCall(&req, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Generation, nil
@@ -906,15 +1093,15 @@ func (c *Client) Commit(groupID, memberID string, generation int, topic string, 
 		Group: groupID, Member: memberID, Generation: generation,
 		Topic: topic, Partition: partition, Offset: offset,
 	}
-	_, err := c.call(0, &req, nil, nil, nil)
+	_, err := c.controlCall(&req, nil)
 	return err
 }
 
 // Committed implements client.Transport.
 func (c *Client) Committed(groupID, topic string, partition int) int64 {
-	off, err := c.offsetCall(0, &CommittedReq{Group: groupID, Topic: topic, Partition: partition})
-	if err != nil {
+	var resp OffsetResp
+	if _, err := c.controlCall(&CommittedReq{Group: groupID, Topic: topic, Partition: partition}, &resp); err != nil {
 		return -1
 	}
-	return off
+	return resp.Offset
 }

@@ -29,6 +29,14 @@ func runWireSuite(t *testing.T, serverMax, clientMax, wantVersion int) {
 // through the request/response fallback.
 func runWireSuiteStreaming(t *testing.T, serverMax, clientMax, wantVersion int, serverNoStream, clientNoStream bool) {
 	t.Helper()
+	runWireSuiteFeatures(t, serverMax, clientMax, wantVersion, serverNoStream, clientNoStream, false, false)
+}
+
+// runWireSuiteFeatures additionally masks cluster metadata on either
+// side — the client must fall back to single-address slot hashing and
+// still pass the identical suite.
+func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, serverNoStream, clientNoStream, serverNoMeta, clientNoMeta bool) {
+	t.Helper()
 	f := broker.NewFabric(nil)
 	if err := f.AddBrokers(2, 2, 8); err != nil {
 		t.Fatal(err)
@@ -40,13 +48,17 @@ func runWireSuiteStreaming(t *testing.T, serverMax, clientMax, wantVersion int, 
 	s.AllowAnonymous = true
 	s.MaxVersion = serverMax
 	s.DisableStreaming = serverNoStream
+	s.DisableClusterMeta = serverNoMeta
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 
-	c, err := DialOptions(addr, Options{Anonymous: true, MaxVersion: clientMax, PoolSize: 2, DisableStreaming: clientNoStream})
+	c, err := DialOptions(addr, Options{
+		Anonymous: true, MaxVersion: clientMax, PoolSize: 2,
+		DisableStreaming: clientNoStream, DisableClusterMeta: clientNoMeta,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,6 +69,17 @@ func runWireSuiteStreaming(t *testing.T, serverMax, clientMax, wantVersion int, 
 	wantStream := wantVersion >= ProtocolV2 && !serverNoStream && !clientNoStream
 	if gotStream := c.Features()&FeatStreamFetch != 0; gotStream != wantStream {
 		t.Fatalf("streaming negotiated = %v, want %v", gotStream, wantStream)
+	}
+	wantMeta := wantVersion >= ProtocolV2 && !serverNoMeta && !clientNoMeta
+	if gotMeta := c.RouterEnabled(); gotMeta != wantMeta {
+		t.Fatalf("metadata routing enabled = %v, want %v", gotMeta, wantMeta)
+	}
+	if !wantMeta {
+		// The fallback contract: without the feature, OpMetadata is an
+		// unknown op and the client slot-hashes over the seed address.
+		if _, err := c.ClusterMetadata(); err == nil {
+			t.Fatal("ClusterMetadata succeeded without FeatClusterMeta")
+		}
 	}
 
 	// SDK producer: batched, keyed, flushed.
@@ -178,4 +201,20 @@ func TestInteropStreamingOffServerSide(t *testing.T) {
 // request/response, passing the identical suite.
 func TestInteropStreamingOffClientSide(t *testing.T) {
 	runWireSuiteStreaming(t, ProtocolV2, ProtocolV2, ProtocolV2, false, true)
+}
+
+// TestInteropClusterMetaOffServerSide: a current client against a v2
+// server that predates cluster metadata discovery (OpMetadata answered
+// as unknown op) falls back to single-address slot hashing and passes
+// the identical suite.
+func TestInteropClusterMetaOffServerSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, false, false, true, false)
+}
+
+// TestInteropClusterMetaOffClientSide: a client that masks
+// FeatClusterMeta never fetches metadata and slot-hashes over its seed
+// address against a cluster-capable server, passing the identical
+// suite.
+func TestInteropClusterMetaOffClientSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, false, false, false, true)
 }

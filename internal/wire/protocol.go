@@ -72,6 +72,11 @@ const (
 	OpStreamOpen   Op = "stream_open"
 	OpStreamCredit Op = "stream_credit"
 	OpStreamClose  Op = "stream_close"
+	// OpMetadata is cluster metadata discovery (v2-only;
+	// FeatClusterMeta). The v1 spelling exists purely so the message
+	// converted to v1 framing is rejected as an unknown op by legacy
+	// servers — the clean fallback to single-address routing.
+	OpMetadata Op = "metadata"
 )
 
 // MaxFrame bounds a frame's payload to keep a misbehaving peer from

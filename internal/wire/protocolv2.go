@@ -64,8 +64,14 @@ const (
 	// proactively as data arrives, flow-controlled by client credit
 	// grants — no per-batch request round trip.
 	FeatStreamFetch uint32 = 1 << 2
+	// FeatClusterMeta: the server answers OpMetadata with the cluster's
+	// epoch, broker addresses and per-partition leadership, enabling
+	// leader-direct client routing against multi-listener clusters
+	// (internal/clusternet). Either side may mask it out; the client
+	// then falls back to single-address slot hashing.
+	FeatClusterMeta uint32 = 1 << 3
 
-	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch
+	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch | FeatClusterMeta
 )
 
 // v2 operation bytes, one per message pair.
@@ -91,6 +97,8 @@ const (
 	v2OpStreamBatch
 	v2OpStreamCredit
 	v2OpStreamClose
+	// v2OpMetadata is cluster metadata discovery (FeatClusterMeta).
+	v2OpMetadata
 
 	// v2OpMax is one past the highest assigned op byte (pool sizing).
 	v2OpMax
@@ -394,6 +402,8 @@ func newReqMsg(op uint8) ReqMsg {
 		return &StreamCreditReq{}
 	case v2OpStreamClose:
 		return &StreamCloseReq{}
+	case v2OpMetadata:
+		return &MetadataReq{}
 	}
 	return nil
 }
@@ -449,6 +459,8 @@ func newRespMsg(op uint8) respMsg {
 		return &StreamOpenResp{}
 	case v2OpStreamBatch:
 		return &FetchResp{}
+	case v2OpMetadata:
+		return &MetadataResp{}
 	}
 	return nil
 }

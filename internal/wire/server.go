@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -52,6 +53,24 @@ type Server struct {
 	// are refused as unknown ops and clients fall back to pipelined
 	// request/response fetch.
 	DisableStreaming bool
+	// DisableClusterMeta masks FeatClusterMeta out of negotiation,
+	// emulating a v2 server that predates cluster metadata discovery:
+	// OpMetadata is refused as an unknown op and clients fall back to
+	// single-address slot hashing.
+	DisableClusterMeta bool
+	// LocalBroker scopes this server to one broker of the fabric:
+	// produce, fetch and stream-open requests for partitions that
+	// broker does not lead are refused with ErrNotLeader (and counted
+	// in Misroutes) instead of silently served from the shared
+	// in-process state — the per-broker serving contract of
+	// internal/clusternet. The default -1 serves every partition, the
+	// single-listener behavior.
+	LocalBroker int
+
+	// misroutes counts data-plane requests refused with ErrNotLeader.
+	// A leader-direct client fleet should hold it at zero in steady
+	// state; failover tests assert exactly that.
+	misroutes atomic.Int64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -60,9 +79,46 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer creates a wire server for the fabric.
+// NewServer creates a wire server for the fabric, serving every
+// partition (LocalBroker -1).
 func NewServer(f *broker.Fabric) *Server {
-	return &Server{Fabric: f, conns: make(map[net.Conn]bool)}
+	return &Server{Fabric: f, conns: make(map[net.Conn]bool), LocalBroker: -1}
+}
+
+// NewBrokerServer creates a wire server scoped to one broker of the
+// fabric: the per-node serving view clusternet binds to each broker's
+// advertised address.
+func NewBrokerServer(f *broker.Fabric, brokerID int) *Server {
+	s := NewServer(f)
+	s.LocalBroker = brokerID
+	return s
+}
+
+// Misroutes reports how many data-plane requests this server refused
+// with ErrNotLeader because they targeted a partition its broker does
+// not lead.
+func (s *Server) Misroutes() int64 { return s.misroutes.Load() }
+
+// leaderCheck enforces the per-broker serving scope: a data-plane
+// request for a partition led elsewhere is refused with ErrNotLeader
+// carrying the current leader's id, so the client knows to re-fetch
+// metadata and re-route. Unscoped servers (LocalBroker < 0) and
+// per-event-routed produces (partition < 0, the single-address
+// fallback path) pass through.
+func (s *Server) leaderCheck(topic string, partition int) error {
+	if s.LocalBroker < 0 || partition < 0 {
+		return nil
+	}
+	leader, err := s.Fabric.PartitionLeader(topic, partition)
+	if err != nil {
+		return err
+	}
+	if leader != s.LocalBroker {
+		s.misroutes.Add(1)
+		return fmt.Errorf("%w: %s/%d is led by broker %d, not broker %d",
+			ErrNotLeader, topic, partition, leader, s.LocalBroker)
+	}
+	return nil
 }
 
 func (s *Server) maxVersion() int {
@@ -77,6 +133,9 @@ func (s *Server) featureMask() uint32 {
 	feats := allFeatures
 	if s.DisableStreaming {
 		feats &^= FeatStreamFetch
+	}
+	if s.DisableClusterMeta {
+		feats &^= FeatClusterMeta
 	}
 	return feats
 }
@@ -326,9 +385,31 @@ func (s *Server) serveConn(conn net.Conn) {
 					return
 				}
 				continue
+			case *MetadataReq:
+				// Control-plane and cheap: handled inline like auth. Gated
+				// on the negotiated feature so a masked server answers
+				// exactly as one that predates the op, and on
+				// authentication — cluster topology (broker addresses,
+				// liveness, leadership) must not leak to anyone who can
+				// merely reach a port.
+				var resp *MetadataResp
+				var merr error
+				switch {
+				case features&FeatClusterMeta == 0:
+					merr = fmt.Errorf("%w %d: cluster metadata not negotiated", errUnknownOp, op)
+				case !authed:
+					merr = fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)
+				default:
+					resp = buildMetadataResp(s.Fabric, q.Topics)
+				}
+				putReqMsg(op, m)
+				if w.writeV2(op, corr, resp, merr, nil) != nil {
+					return
+				}
+				continue
 			case *StreamCreditReq:
 				// One-way: grants for closed streams are silently dropped.
-				streams.credit(q.ID, q.Credit)
+				streams.credit(q.ID, q.Credit, q.CreditBytes)
 				putReqMsg(op, m)
 				continue
 			case *StreamCloseReq:
@@ -505,6 +586,9 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 	case *PingReq:
 		return &EmptyResp{}, nil, nil
 	case *ProduceReq:
+		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
+			return nil, nil, err
+		}
 		evs, err := DecodeEvents(payload, q.NumEvents)
 		if err != nil {
 			return nil, nil, err
@@ -519,6 +603,9 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 		}
 		return &ProduceResp{Offset: off}, nil, nil
 	case *FetchReq:
+		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
+			return nil, nil, err
+		}
 		// WaitMaxMS long-polls an empty partition on the log's tail
 		// waiter (v2 clients only; v1 framing never carries it). The
 		// wait is capped below the transport IOTimeout and interrupted

@@ -57,6 +57,10 @@ const maxConnStreams = 256
 // a server-enforced limit, not an attacker-chosen value.
 const maxStreamCredit = 4096
 
+// maxStreamCreditBytes caps one stream's byte window server-side, for
+// the same reason maxStreamCredit caps the event window.
+const maxStreamCreditBytes = 16 << 20
+
 // errStream reports stream-protocol misuse (duplicate or unknown IDs,
 // stream ops without the negotiated feature).
 var errStream = fmt.Errorf("wire: stream protocol error")
@@ -77,6 +81,14 @@ type StreamOpenReq struct {
 	MaxBytes  int
 	// Credit is the initial flow-control window in events.
 	Credit int
+	// CreditBytes, when > 0, adds a byte-denominated window: the server
+	// stops pushing once this many un-granted payload bytes (event
+	// key+value+header sizes) are outstanding, bounding a stalled
+	// reader's server-side buffering in bytes, not just events. Zero
+	// keeps event-credit-only semantics. Appended after the body the
+	// previous revision shipped — decoders tolerate trailing bytes, so
+	// older v2 peers simply ignore it.
+	CreditBytes int
 }
 
 func (*StreamOpenReq) V2Op() uint8 { return v2OpStreamOpen }
@@ -88,7 +100,8 @@ func (m *StreamOpenReq) AppendBody(buf []byte) []byte {
 	buf = appendInt(buf, m.Offset)
 	buf = appendInt(buf, int64(m.MaxEvents))
 	buf = appendInt(buf, int64(m.MaxBytes))
-	return appendInt(buf, int64(m.Credit))
+	buf = appendInt(buf, int64(m.Credit))
+	return appendInt(buf, int64(m.CreditBytes))
 }
 
 func (m *StreamOpenReq) DecodeBody(b []byte) error { return m.decodeInterned(b, nil) }
@@ -117,10 +130,19 @@ func (m *StreamOpenReq) decodeInterned(b []byte, in *Interner) error {
 		return err
 	}
 	m.MaxBytes = int(v)
-	if v, _, err = getInt(b); err != nil {
+	if v, b, err = getInt(b); err != nil {
 		return err
 	}
 	m.Credit = int(v)
+	// CreditBytes is absent from bodies encoded by earlier revisions;
+	// reset explicitly so a pooled message never carries a stale window.
+	m.CreditBytes = 0
+	if len(b) > 0 {
+		if v, _, err = getInt(b); err != nil {
+			return err
+		}
+		m.CreditBytes = int(v)
+	}
 	return nil
 }
 
@@ -161,13 +183,18 @@ func (m *StreamOpenResp) toV1(r *Response) {
 type StreamCreditReq struct {
 	ID     uint64
 	Credit int
+	// CreditBytes returns consumed payload bytes to the stream's byte
+	// window (streams opened with StreamOpenReq.CreditBytes > 0).
+	// Trailing field: absent on grants from older peers.
+	CreditBytes int
 }
 
 func (*StreamCreditReq) V2Op() uint8 { return v2OpStreamCredit }
 
 func (m *StreamCreditReq) AppendBody(buf []byte) []byte {
 	buf = appendUint(buf, m.ID)
-	return appendInt(buf, int64(m.Credit))
+	buf = appendInt(buf, int64(m.Credit))
+	return appendInt(buf, int64(m.CreditBytes))
 }
 
 func (m *StreamCreditReq) DecodeBody(b []byte) error {
@@ -176,10 +203,17 @@ func (m *StreamCreditReq) DecodeBody(b []byte) error {
 	if m.ID, b, err = getUint(b); err != nil {
 		return err
 	}
-	if v, _, err = getInt(b); err != nil {
+	if v, b, err = getInt(b); err != nil {
 		return err
 	}
 	m.Credit = int(v)
+	m.CreditBytes = 0
+	if len(b) > 0 {
+		if v, _, err = getInt(b); err != nil {
+			return err
+		}
+		m.CreditBytes = int(v)
+	}
 	return nil
 }
 
@@ -230,8 +264,14 @@ type serverStream struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	credit int
-	closed bool
-	stop   chan struct{} // closed with the stream; interrupts tail waits
+	// byteMode enables the byte-denominated window: creditBytes is the
+	// remaining window (it may dip below zero when the first event of a
+	// batch alone exceeds it — ReadBudget semantics — and the pump then
+	// parks until grants bring it positive again).
+	byteMode    bool
+	creditBytes int
+	closed      bool
+	stop        chan struct{} // closed with the stream; interrupts tail waits
 
 	// next is the next offset to push; dst is the pump's reusable fetch
 	// buffer. Both are touched only by the pump goroutine.
@@ -253,6 +293,9 @@ func (cs *connStreams) open(q *StreamOpenReq, identity string, authed bool) (*St
 		if err := cs.srv.Fabric.ACL.Check(q.Topic, identity, auth.PermRead); err != nil {
 			return nil, err
 		}
+	}
+	if err := cs.srv.leaderCheck(q.Topic, q.Partition); err != nil {
+		return nil, err
 	}
 	start, err := cs.srv.Fabric.StartOffset(q.Topic, q.Partition)
 	if err != nil {
@@ -276,6 +319,13 @@ func (cs *connStreams) open(q *StreamOpenReq, identity string, authed bool) (*St
 	if st.credit > maxStreamCredit {
 		st.credit = maxStreamCredit
 	}
+	if q.CreditBytes > 0 {
+		st.byteMode = true
+		st.creditBytes = q.CreditBytes
+		if st.creditBytes > maxStreamCreditBytes {
+			st.creditBytes = maxStreamCreditBytes
+		}
+	}
 	st.cond = sync.NewCond(&st.mu)
 	cs.mu.Lock()
 	if _, dup := cs.m[q.ID]; dup {
@@ -293,20 +343,28 @@ func (cs *connStreams) open(q *StreamOpenReq, identity string, authed bool) (*St
 	return &StreamOpenResp{HighWatermark: end, StartOffset: start}, nil
 }
 
-// credit adds a client grant to a stream's window. Grants for unknown
+// credit adds a client grant to a stream's windows. Grants for unknown
 // IDs are dropped: the stream may have closed while the grant was in
 // flight, which is normal, not an error.
-func (cs *connStreams) credit(id uint64, n int) {
+func (cs *connStreams) credit(id uint64, n, nbytes int) {
 	cs.mu.Lock()
 	st := cs.m[id]
 	cs.mu.Unlock()
-	if st == nil || n <= 0 {
+	if st == nil || (n <= 0 && nbytes <= 0) {
 		return
 	}
 	st.mu.Lock()
-	st.credit += n
-	if st.credit > maxStreamCredit {
-		st.credit = maxStreamCredit
+	if n > 0 {
+		st.credit += n
+		if st.credit > maxStreamCredit {
+			st.credit = maxStreamCredit
+		}
+	}
+	if st.byteMode && nbytes > 0 {
+		st.creditBytes += nbytes
+		if st.creditBytes > maxStreamCreditBytes {
+			st.creditBytes = maxStreamCreditBytes
+		}
 	}
 	st.cond.Signal()
 	st.mu.Unlock()
@@ -353,7 +411,7 @@ func (cs *connStreams) pump(st *serverStream) {
 	defer cs.wg.Done()
 	for {
 		st.mu.Lock()
-		for st.credit <= 0 && !st.closed {
+		for (st.credit <= 0 || (st.byteMode && st.creditBytes <= 0)) && !st.closed {
 			st.cond.Wait()
 		}
 		if st.closed {
@@ -361,14 +419,22 @@ func (cs *connStreams) pump(st *serverStream) {
 			return
 		}
 		credit := st.credit
+		creditBytes := st.creditBytes
 		st.mu.Unlock()
 
 		max := st.maxEvents
 		if credit < max {
 			max = credit
 		}
+		maxBytes := st.maxBytes
+		if st.byteMode && (maxBytes <= 0 || creditBytes < maxBytes) {
+			// The byte window bounds one push too: never fetch more than
+			// the window has room for (the first event may still exceed
+			// it — ReadBudget semantics — taking the window negative).
+			maxBytes = creditBytes
+		}
 		res, err := cs.srv.Fabric.FetchWaitInto(
-			st.identity, st.topic, st.partition, st.next, max, st.maxBytes,
+			st.identity, st.topic, st.partition, st.next, max, maxBytes,
 			streamWaitSlice, st.stop, st.dst[:0])
 		if err != nil {
 			// Push the typed error as a server-side close so the consumer
@@ -396,6 +462,20 @@ func (cs *connStreams) pump(st *serverStream) {
 		st.next = res.Events[len(res.Events)-1].Offset + 1
 		st.mu.Lock()
 		st.credit -= len(res.Events)
+		if st.byteMode {
+			st.creditBytes -= eventsSize(res.Events)
+		}
 		st.mu.Unlock()
 	}
+}
+
+// eventsSize is the flow-control size of a batch: the sum of the
+// events' payload sizes (key + value + headers), computed identically
+// on both sides of the stream so byte grants balance byte debits.
+func eventsSize(evs []event.Event) int {
+	n := 0
+	for i := range evs {
+		n += evs[i].Size()
+	}
+	return n
 }

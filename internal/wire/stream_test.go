@@ -33,8 +33,13 @@ func streamTopic(t *testing.T, f *broker.Fabric, topic string, parts, n int) {
 // stream returns the client's stream session for a topic-partition,
 // nil if none is open (white-box).
 func (c *Client) stream(topic string, partition int) *clientStream {
+	addr := c.dataAddr(topic, partition)
 	c.mu.Lock()
-	wc := c.slots[c.slotFor(topic, partition)]
+	ep := c.eps[addr]
+	var wc *wireConn
+	if ep != nil {
+		wc = ep.slots[c.slotFor(topic, partition)]
+	}
 	c.mu.Unlock()
 	if wc == nil {
 		return nil
@@ -162,6 +167,96 @@ func TestStreamCreditBoundsServerPush(t *testing.T) {
 	deadline := time.Now().Add(15 * time.Second)
 	for off < total && time.Now().Before(deadline) {
 		res, err := c.FetchBufferedWait("", "cb", 0, off, 500, 1<<20, 100*time.Millisecond, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range res.Events {
+			if ev.Offset != off {
+				t.Fatalf("offset %d, want %d", ev.Offset, off)
+			}
+			off++
+		}
+	}
+	if off != total {
+		t.Fatalf("resumed consumption reached %d of %d", off, total)
+	}
+}
+
+// TestStreamByteCreditBoundsServerPush pins the byte-denominated
+// window: with StreamWindowBytes set, a reader that stops consuming
+// receives at most the byte window of payload (plus at most one event
+// of ReadBudget slack) no matter how much event credit remains — and
+// resumes losslessly once consumption restarts. The same workload
+// without a byte window buffers far more, which is exactly the
+// unbounded-in-bytes behavior the window exists to cap.
+func TestStreamByteCreditBoundsServerPush(t *testing.T) {
+	f, addr, stop := startServer(t, true)
+	defer stop()
+	const total, evSize = 2000, 1024
+	if _, err := f.CreateTopic("bw", "", cluster.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	evs := make([]event.Event, 100)
+	for i := range evs {
+		evs[i] = event.Event{Value: make([]byte, evSize)}
+	}
+	for n := 0; n < total; n += len(evs) {
+		if _, err := f.Produce("", "bw", 0, evs, broker.AcksLeader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const window = 8 << 10 // 8 KB ≈ 8 events; event credit alone would allow 256
+	c, err := DialOptions(addr, Options{Anonymous: true, StreamWindowBytes: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var buf broker.FetchBuffer
+	res, err := c.FetchBuffered("", "bw", 0, 0, 10, 1<<20, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.stream("bw", 0)
+	if s == nil {
+		t.Fatal("no stream opened")
+	}
+	if s.windowBytes != window {
+		t.Fatalf("windowBytes = %d, want %d", s.windowBytes, window)
+	}
+	// Stall: the pump must park once the byte window is exhausted.
+	time.Sleep(300 * time.Millisecond)
+	queued := 0
+	var drained []*streamFrame
+	for {
+		select {
+		case fr := <-s.frames:
+			queued += fr.hdr.NumEvents
+			drained = append(drained, fr)
+			continue
+		default:
+		}
+		break
+	}
+	for _, fr := range drained {
+		s.frames <- fr
+	}
+	// The window bounds un-granted bytes: the first batch was consumed
+	// (its bytes granted back), so what may pile up client-side while
+	// the reader stalls is one byte window, with at most one event of
+	// ReadBudget slack.
+	outstanding := (queued + (len(s.evs) - s.idx)) * evSize
+	if outstanding > window+evSize {
+		t.Fatalf("server pushed %d un-granted bytes against a %d-byte window", outstanding, window)
+	}
+	if outstanding == 0 {
+		t.Fatal("server pushed nothing beyond the first batch")
+	}
+	// Resume: every remaining event arrives, in order — byte grants keep
+	// the window rolling.
+	off := res.Events[len(res.Events)-1].Offset + 1
+	deadline := time.Now().Add(15 * time.Second)
+	for off < total && time.Now().Before(deadline) {
+		res, err := c.FetchBufferedWait("", "bw", 0, off, 500, 1<<20, 100*time.Millisecond, &buf)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -53,7 +53,10 @@ type clientStream struct {
 	// window is the credit window in events; the frames channel is
 	// sized to hold a full window of single-event batches plus a close.
 	window int
-	frames chan *streamFrame
+	// windowBytes is the optional byte-denominated window (0 = event
+	// credit only), mirroring the server's bound on un-granted bytes.
+	windowBytes int
+	frames      chan *streamFrame
 
 	freeMu sync.Mutex
 	free   []*streamFrame
@@ -79,9 +82,11 @@ type clientStream struct {
 	// hw/start mirror the latest pushed batch's positions so empty
 	// polls still report fresh watermarks.
 	hw, start int64
-	// consumed counts events not yet returned to the server as credit.
-	consumed int
-	err      error
+	// consumed counts events (and consumedBytes their payload bytes)
+	// not yet returned to the server as credit.
+	consumed      int
+	consumedBytes int
+	err           error
 }
 
 func (s *clientStream) getFrame() *streamFrame {
@@ -219,16 +224,18 @@ func streamWindow(maxEvents int) int {
 
 // openStream registers and opens a stream at offset. The stream is
 // registered before the open request goes out: the server's first push
-// can be hot on the heels of the open response.
-func (wc *wireConn) openStream(topic string, partition int, offset int64, maxEvents, maxBytes int) (*clientStream, error) {
+// can be hot on the heels of the open response. windowBytes > 0 adds
+// the byte-denominated flow-control window.
+func (wc *wireConn) openStream(topic string, partition int, offset int64, maxEvents, maxBytes, windowBytes int) (*clientStream, error) {
 	window := streamWindow(maxEvents)
 	wc.streamMu.Lock()
 	wc.nextStreamID++
 	id := wc.nextStreamID
 	s := &clientStream{
 		wc: wc, id: id, topic: topic, partition: partition,
-		window: window, frames: make(chan *streamFrame, window+2),
-		next: offset,
+		window: window, windowBytes: windowBytes,
+		frames: make(chan *streamFrame, window+2),
+		next:   offset,
 	}
 	if wc.streamsByID == nil {
 		wc.streamsByID = make(map[uint64]*clientStream)
@@ -246,6 +253,7 @@ func (wc *wireConn) openStream(topic string, partition int, offset int64, maxEve
 	req := &StreamOpenReq{
 		ID: id, Topic: topic, Partition: partition, Offset: offset,
 		MaxEvents: maxEvents, MaxBytes: maxBytes, Credit: window,
+		CreditBytes: windowBytes,
 	}
 	var resp StreamOpenResp
 	cl := &call{op: req.V2Op(), req: req, resp: &resp, done: make(chan struct{})}
@@ -298,7 +306,7 @@ func (c *Client) fetchStream(wc *wireConn, topic string, partition int, offset i
 	}
 	if s == nil {
 		var err error
-		s, err = wc.openStream(topic, partition, offset, maxEvents, maxBytes)
+		s, err = wc.openStream(topic, partition, offset, maxEvents, maxBytes, c.opts.StreamWindowBytes)
 		if err != nil {
 			if errors.Is(err, errUnknownOp) {
 				// The server negotiated the feature away (or predates it):
@@ -335,7 +343,11 @@ func (c *Client) fetchStream(wc *wireConn, topic string, partition int, offset i
 	out := s.evs[s.idx : s.idx+n]
 	s.idx += n
 	s.next = out[n-1].Offset + 1
-	s.noteConsumed(n)
+	nbytes := 0
+	if s.windowBytes > 0 {
+		nbytes = eventsSize(out)
+	}
+	s.noteConsumed(n, nbytes)
 	return broker.FetchResult{Events: out, HighWatermark: s.hw, StartOffset: s.start}, nil, true
 }
 
@@ -392,16 +404,18 @@ func (s *clientStream) pullFrame(wait time.Duration) error {
 	return nil
 }
 
-// noteConsumed returns credit to the server once half the window has
-// been consumed — batched grants, so flow control costs a fraction of a
-// one-way frame per batch rather than an ack per batch. Callers hold
-// s.mu.
-func (s *clientStream) noteConsumed(n int) {
+// noteConsumed returns credit to the server once half of either window
+// (events, or bytes when a byte window is set) has been consumed —
+// batched grants, so flow control costs a fraction of a one-way frame
+// per batch rather than an ack per batch. Callers hold s.mu.
+func (s *clientStream) noteConsumed(n, nbytes int) {
 	s.consumed += n
-	if 2*s.consumed < s.window {
+	s.consumedBytes += nbytes
+	if 2*s.consumed < s.window && !(s.windowBytes > 0 && 2*s.consumedBytes >= s.windowBytes) {
 		return
 	}
-	if err := s.wc.sendOneway(&StreamCreditReq{ID: s.id, Credit: s.consumed}); err == nil {
+	if err := s.wc.sendOneway(&StreamCreditReq{ID: s.id, Credit: s.consumed, CreditBytes: s.consumedBytes}); err == nil {
 		s.consumed = 0
+		s.consumedBytes = 0
 	}
 }

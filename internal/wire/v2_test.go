@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -37,6 +39,10 @@ func fuzzReqSeeds() []ReqMsg {
 		&StreamOpenReq{ID: 9, Topic: "st", Partition: 2, Offset: 1 << 33, MaxEvents: 500, MaxBytes: 2 << 20, Credit: 2000},
 		&StreamCreditReq{ID: 9, Credit: 512},
 		&StreamCloseReq{ID: 9},
+		&StreamOpenReq{ID: 10, Topic: "bw", Offset: 5, MaxEvents: 100, MaxBytes: 1 << 20, Credit: 400, CreditBytes: 1 << 20},
+		&StreamCreditReq{ID: 10, Credit: 64, CreditBytes: 65536},
+		&MetadataReq{},
+		&MetadataReq{Topics: []string{"a", "b"}},
 	}
 }
 
@@ -72,6 +78,20 @@ func fuzzRespSeeds() []struct {
 			b.SetOffsets([]event.Event{{Offset: 20}, {Offset: 21}, {Offset: 30}})
 			return b
 		}()},
+		{v2OpMetadata, &MetadataResp{
+			Epoch: 42,
+			Brokers: []BrokerMeta{
+				{ID: 0, Addr: "10.0.0.1:9092", Up: true},
+				{ID: 1, Addr: "10.0.0.2:9092", Up: false},
+			},
+			Topics: []TopicLeadership{{
+				Name: "t",
+				Partitions: []PartitionLeadership{
+					{Leader: 0, Replicas: []int{0, 1}, ISR: []int{0}},
+					{Leader: -1, Replicas: []int{1, 0}, ISR: nil},
+				},
+			}},
+		}},
 	}
 }
 
@@ -385,6 +405,103 @@ func FuzzDecodeStreamFrames(f *testing.F) {
 		}
 		if enc2 := AppendRequestV2(nil, corr2, m2); !bytes.Equal(enc, enc2) {
 			t.Fatalf("unstable stream request round trip\n %x\n %x", enc, enc2)
+		}
+	})
+}
+
+// TestMetadataRequiresAuth pins the inline OpMetadata handler's auth
+// gate: a connection that negotiated v2 + FeatClusterMeta but never
+// authenticated must get bad-credentials, not the cluster topology —
+// broker addresses and leadership are not for anyone who can merely
+// reach a port.
+func TestMetadataRequiresAuth(t *testing.T) {
+	_, addr, stop := startServer(t, false) // authentication required
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, &Request{Op: OpNegotiate, Corr: 1, MaxVersion: ProtocolV2, Features: allFeatures}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(conn)
+	var nresp Response
+	if _, err := ReadFrame(rd, &nresp); err != nil {
+		t.Fatal(err)
+	}
+	if nresp.Version != ProtocolV2 || nresp.Features&FeatClusterMeta == 0 {
+		t.Fatalf("negotiation = v%d feats %x", nresp.Version, nresp.Features)
+	}
+	frame, err := appendFrameRequestV2(nil, 2, &MetadataReq{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var hdrBuf []byte
+	hb, err := readHeaderInto(rd, &hdrBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp MetadataResp
+	_, _, err = DecodeResponseV2(hb, &resp)
+	if _, perr := ReadPayloadInto(rd, nil); perr != nil {
+		t.Fatal(perr)
+	}
+	if !errors.Is(err, auth.ErrBadCredentials) {
+		t.Fatalf("unauthenticated metadata error = %v, want bad credentials", err)
+	}
+	if len(resp.Brokers) != 0 {
+		t.Fatalf("unauthenticated metadata leaked %d brokers", len(resp.Brokers))
+	}
+}
+
+// FuzzDecodeMetadataV2 feeds arbitrary bytes to the OpMetadata
+// request and response body decoders (the cluster-routing control
+// plane): malformed input must error, never panic, and any accepted
+// body must round-trip byte-identically — the routing table a client
+// builds from a re-encoded document must match the original.
+func FuzzDecodeMetadataV2(f *testing.F) {
+	for _, m := range []Msg{
+		&MetadataReq{},
+		&MetadataReq{Topics: []string{"events", "audit"}},
+		&MetadataResp{
+			Epoch:   7,
+			Brokers: []BrokerMeta{{ID: 2, Addr: "127.0.0.1:40000", Up: true}},
+			Topics: []TopicLeadership{{
+				Name:       "events",
+				Partitions: []PartitionLeadership{{Leader: 2, Replicas: []int{2, 0}, ISR: []int{2, 0}}},
+			}},
+		},
+	} {
+		f.Add(m.AppendBody(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var req MetadataReq
+		if err := req.DecodeBody(b); err == nil {
+			enc := req.AppendBody(nil)
+			var req2 MetadataReq
+			if err := req2.DecodeBody(enc); err != nil {
+				t.Fatalf("canonical metadata request re-decode failed: %v", err)
+			}
+			if enc2 := req2.AppendBody(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("unstable metadata request round trip\n %x\n %x", enc, enc2)
+			}
+		}
+		var resp MetadataResp
+		if err := resp.DecodeBody(b); err == nil {
+			enc := resp.AppendBody(nil)
+			var resp2 MetadataResp
+			if err := resp2.DecodeBody(enc); err != nil {
+				t.Fatalf("canonical metadata response re-decode failed: %v", err)
+			}
+			if enc2 := resp2.AppendBody(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("unstable metadata response round trip\n %x\n %x", enc, enc2)
+			}
 		}
 	})
 }

@@ -317,9 +317,11 @@ func TestClientReconnectsAfterConnectionDrop(t *testing.T) {
 	// Sever every pool connection out from under the client; the next
 	// call reconnects transparently.
 	c.mu.Lock()
-	for _, wc := range c.slots {
-		if wc != nil {
-			wc.conn.Close()
+	for _, ep := range c.eps {
+		for _, wc := range ep.slots {
+			if wc != nil {
+				wc.conn.Close()
+			}
 		}
 	}
 	c.mu.Unlock()

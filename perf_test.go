@@ -3,6 +3,7 @@ package repro
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -356,6 +357,61 @@ func BenchmarkRemoteRoundTripBytes(b *testing.B) {
 	b.ReportMetric(v1Bytes, "v1_B/op")
 	b.ReportMetric(v2Bytes, "v2_B/op")
 	b.ReportMetric(v1Bytes/v2Bytes, "reduction_x")
+}
+
+// BenchmarkLeaderDirectRouting gates PR 5's tentpole: the same
+// round-trip-bound produce workload runs against a 3-broker clusternet
+// fabric two ways over emulated 2 ms links. Leader-direct: the client
+// bootstraps metadata from one broker and dials each partition's
+// leader through that broker's own link (one hop per produce).
+// Proxy-through-one-listener: every request funnels through a single
+// all-partition listener behind a forwarding hop (two chained links) —
+// what reaching a partition leader through a gateway broker costs.
+// Leader-direct must beat 1.5x the proxied throughput in the same run,
+// and not one request may misroute, or the benchmark fails.
+func BenchmarkLeaderDirectRouting(b *testing.B) {
+	// The identical fixture backs octopus-bench -cluster, so the
+	// operator-visible comparison is the one CI gates.
+	fx, err := testbed.NewClusterRoutingFixture(3, 6, 40, 16, 1024, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fx.Close)
+	if _, err := fx.Run(fx.Direct); err != nil { // warm: dials every leader link once
+		b.Fatal(err)
+	}
+	proxiedThru, err := fx.Run(fx.Proxied)
+	if err != nil {
+		b.Fatal(err)
+	}
+	directThru, err := fx.Run(fx.Direct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if directThru < 1.5*proxiedThru {
+		b.Fatalf("leader-direct %.0f ev/s < 1.5x single-listener proxy %.0f ev/s over the same links", directThru, proxiedThru)
+	}
+	if n := fx.Cluster.Misroutes(); n != 0 {
+		b.Fatalf("leader-direct routing misrouted %d requests, want 0", n)
+	}
+	b.SetBytes(int64(len(fx.Batch)) << 10)
+	b.ResetTimer()
+	b.SetParallelism(fx.Workers)
+	var rr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		p := int(rr.Add(1)) % fx.Partitions
+		for pb.Next() {
+			if _, err := fx.Direct.Produce("", fx.Topic, p, fx.Batch, broker.AcksLeader); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(proxiedThru, "proxied_events/s")
+	b.ReportMetric(directThru, "direct_events/s")
+	b.ReportMetric(directThru/proxiedThru, "speedup_x")
 }
 
 // BenchmarkUnmarshalBatchAllocs pins the fetch-side wire decode: one

@@ -8,6 +8,7 @@
 //	octopus-bench -real           # reduced-scale run on the real fabric
 //	octopus-bench -stream         # consume-transport comparison (PR 2-4)
 //	octopus-bench -cluster        # leader-direct vs proxied routing (PR 5)
+//	octopus-bench -connections    # streams vs multiplexed sessions at connection scale (PR 6)
 package main
 
 import (
@@ -28,10 +29,12 @@ func main() {
 	stream := flag.Bool("stream", false, "compare request/response, pipelined and streaming consume over an emulated remote link")
 	clusterBench := flag.Bool("cluster", false, "compare leader-direct routing vs proxying through one listener over emulated remote links")
 	clusterBrokers := flag.Int("cluster-brokers", 3, "broker count for -cluster")
+	connBench := flag.Bool("connections", false, "compare per-partition streams vs multiplexed fetch sessions at connection scale")
+	connCount := flag.Int("conn-count", 16, "connection count for -connections")
 	csvDir := flag.String("csv", "", "export every artifact as CSV into this directory")
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" && !*real && !*stream && !*clusterBench && *csvDir == "" {
+	if !*all && *table == "" && *figure == "" && !*real && !*stream && !*clusterBench && !*connBench && *csvDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,6 +90,9 @@ func main() {
 	}
 	if *clusterBench {
 		runClusterBench(*clusterBrokers)
+	}
+	if *connBench {
+		runConnBench(*connCount)
 	}
 }
 

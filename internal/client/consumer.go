@@ -108,7 +108,12 @@ func nextMemberID() string {
 // When the transport is a BufferedFetcher, each assigned partition gets
 // a fetch session owning a reusable receive buffer (its arena growth is
 // bounded by ReceiveBufferBytes), so the steady-state consume path stops
-// allocating; see Poll for the resulting lifetime contract.
+// allocating; see Poll for the resulting lifetime contract. Which wire
+// transport backs those fetches is invisible here: against a
+// FeatSessionFetch peer the wire client multiplexes every assigned
+// partition over one session (and one server goroutine) per
+// connection, against older peers it falls back to per-partition
+// streams, and the consumer's Poll loop is identical either way.
 type Consumer struct {
 	t   Transport
 	bf  BufferedFetcher // t's buffered-fetch extension, nil if absent

@@ -30,6 +30,13 @@ type Controller struct {
 	// comparing two atomic loads replaces a registry read plus JSON
 	// decode on every produce/fetch.
 	epoch atomic.Int64
+
+	// watchMu guards the epoch watchers. A separate mutex, not c.mu:
+	// bumpEpoch runs both with and without c.mu held, and watcher
+	// (un)registration must never contend with topic mutation.
+	watchMu  sync.Mutex
+	watchers map[uint64]chan struct{}
+	watchID  uint64
 }
 
 // Epoch returns the current metadata epoch. It increases monotonically;
@@ -37,8 +44,45 @@ type Controller struct {
 // bumps it, so a cache entry tagged with an older epoch must be rebuilt.
 func (c *Controller) Epoch() int64 { return c.epoch.Load() }
 
-// bumpEpoch invalidates all epoch-tagged metadata caches.
-func (c *Controller) bumpEpoch() { c.epoch.Add(1) }
+// bumpEpoch invalidates all epoch-tagged metadata caches and pokes
+// every registered epoch watcher.
+func (c *Controller) bumpEpoch() {
+	c.epoch.Add(1)
+	c.watchMu.Lock()
+	for _, ch := range c.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending tick; bursts coalesce
+		}
+	}
+	c.watchMu.Unlock()
+}
+
+// WatchEpoch registers an epoch watcher: the returned channel receives
+// a tick (capacity one, bursts coalesce) after every epoch bump. It is
+// the push side of metadata distribution — a broker's wire server
+// watches the epoch and pushes fresh metadata to connected clients the
+// moment leadership changes, instead of each client discovering the
+// change by eating a failed request. Watchers read the channel, then
+// Epoch()/topic state, so a coalesced burst still observes the final
+// state. The returned cancel function unregisters; it is idempotent
+// and must be called to free the watcher.
+func (c *Controller) WatchEpoch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	c.watchMu.Lock()
+	c.watchID++
+	id := c.watchID
+	if c.watchers == nil {
+		c.watchers = make(map[uint64]chan struct{})
+	}
+	c.watchers[id] = ch
+	c.watchMu.Unlock()
+	return ch, func() {
+		c.watchMu.Lock()
+		delete(c.watchers, id)
+		c.watchMu.Unlock()
+	}
+}
 
 // NewController creates a controller over the registry.
 func NewController(reg *zk.Registry, clock vclock.Clock) *Controller {

@@ -178,6 +178,23 @@ func (c *Cluster) StopBroker(id int) error {
 	return nil
 }
 
+// DrainBroker gracefully retires a broker from leadership without
+// killing it: the controller re-elects leaders for everything it led
+// (first surviving ISR member) and bumps the metadata epoch, while the
+// broker's listener, connections, and replica logs all stay up. This is
+// the planned-maintenance half of failure injection — with metadata
+// push negotiated, clients re-route on the pushed epoch before any
+// request fails; without it, the drained broker answers misrouted
+// data-plane requests with ErrNotLeader until clients reactively
+// re-fetch metadata.
+func (c *Cluster) DrainBroker(id int) error {
+	if _, ok := c.Fabric.Node(id); !ok {
+		return fmt.Errorf("clusternet: unknown broker %d", id)
+	}
+	c.Fabric.Ctl.HandleBrokerFailure(id)
+	return nil
+}
+
 // RestartBroker brings a stopped broker back: the listener rebinds the
 // broker's original address, replicas catch up from current leaders,
 // and the broker re-registers and rejoins ISRs (bumping the epoch, so

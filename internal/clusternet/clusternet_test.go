@@ -341,3 +341,140 @@ func TestRestartRejoins(t *testing.T) {
 		t.Fatalf("restarted replica end offset %d, want 2", end)
 	}
 }
+
+// drainSuite drives the pushed-metadata acceptance scenario: a client
+// with open fetch sessions on every broker, a graceful leadership drain
+// of one of them, and a full produce/consume pass afterwards. It
+// returns the misroute delta that pass produced and the number of
+// fetch/produce round trips that failed.
+func drainSuite(t *testing.T, push bool) (misroutes int64, failed int) {
+	t.Helper()
+	const parts, perPart = 4, 50
+	cl, f := startCluster(t, 3, "dr", parts, 2)
+	wc, err := wire.DialOptions(cl.Addr(0), wire.Options{
+		Anonymous: true, PoolSize: 1, DisableMetaPush: !push,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if got := wc.Features()&wire.FeatMetaPush != 0; got != push {
+		t.Fatalf("metadata push negotiated = %v, want %v", got, push)
+	}
+
+	// Open a live fetch session against every partition leader.
+	for p := 0; p < parts; p++ {
+		evs := make([]event.Event, perPart)
+		for i := range evs {
+			evs[i] = event.Event{Value: []byte(fmt.Sprintf("p%d-%d", p, i))}
+		}
+		if _, err := wc.Produce("", "dr", p, evs, broker.AcksLeader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offs := make([]int64, parts)
+	var buf broker.FetchBuffer
+	consume := func(want int64, tolerateMisroute bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			done := true
+			for p := 0; p < parts; p++ {
+				if offs[p] >= want {
+					continue
+				}
+				done = false
+				res, err := wc.FetchBuffered("", "dr", p, offs[p], 100, 1<<20, &buf)
+				if err != nil {
+					failed++
+					if tolerateMisroute && errors.Is(err, wire.ErrNotLeader) {
+						continue // reactive re-route recovers on the next call
+					}
+					t.Fatalf("fetch p%d@%d: %v", p, offs[p], err)
+				}
+				for _, ev := range res.Events {
+					if ev.Offset != offs[p] {
+						t.Fatalf("p%d offset %d, want %d", p, ev.Offset, offs[p])
+					}
+					offs[p]++
+				}
+			}
+			if done {
+				return
+			}
+		}
+		t.Fatalf("consumption stalled at %v, want %d per partition", offs, want)
+	}
+	consume(perPart, false)
+	if n := cl.Misroutes(); n != 0 {
+		t.Fatalf("pre-drain misroutes = %d", n)
+	}
+
+	// Gracefully drain partition 0's leader: leadership moves, epoch
+	// bumps, but the broker (and the client's sessions on it) stay up.
+	leader, err := f.PartitionLeader("dr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch0 := wc.MetadataEpoch()
+	if err := cl.DrainBroker(leader); err != nil {
+		t.Fatal(err)
+	}
+	if newLeader, err := f.PartitionLeader("dr", 0); err != nil || newLeader == leader {
+		t.Fatalf("leadership did not move off broker %d (now %d, %v)", leader, newLeader, err)
+	}
+	if push {
+		// The pushed document must land with no data-plane traffic at
+		// all: the broker offers it, the client adopts it.
+		deadline := time.Now().Add(5 * time.Second)
+		for wc.MetadataEpoch() <= epoch0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if wc.MetadataEpoch() <= epoch0 {
+			t.Fatal("pushed metadata never adopted after drain")
+		}
+	}
+
+	// Full post-drain pass: produce into and consume from every
+	// partition, including the moved one.
+	before := cl.Misroutes()
+	for p := 0; p < parts; p++ {
+		for i := 0; i < 10; i++ {
+			val := fmt.Sprintf("p%d-%d", p, perPart+i)
+			if _, err := wc.Produce("", "dr", p, []event.Event{{Value: []byte(val)}}, broker.AcksLeader); err != nil {
+				failed++
+				if push || !errors.Is(err, wire.ErrNotLeader) {
+					t.Fatalf("produce %s after drain: %v", val, err)
+				}
+				i-- // reactive client retries the same value
+			}
+		}
+	}
+	consume(perPart+10, !push)
+	return cl.Misroutes() - before, failed
+}
+
+// TestDrainWithMetadataPush is the acceptance gate for pushed metadata:
+// a leadership drain with FeatMetaPush negotiated produces ZERO failed
+// round trips and ZERO misroutes on a client with open sessions — the
+// push re-routes it before any request can miss.
+func TestDrainWithMetadataPush(t *testing.T) {
+	misroutes, failed := drainSuite(t, true)
+	if failed != 0 {
+		t.Fatalf("%d round trips failed through a pushed-metadata drain, want 0", failed)
+	}
+	if misroutes != 0 {
+		t.Fatalf("%d misroutes through a pushed-metadata drain, want 0", misroutes)
+	}
+}
+
+// TestDrainWithoutMetadataPush pins the fallback: with push masked, the
+// same drain is only discovered reactively — the drained broker refuses
+// misrouted requests and the client re-fetches metadata, exactly the
+// pre-push behavior.
+func TestDrainWithoutMetadataPush(t *testing.T) {
+	misroutes, _ := drainSuite(t, false)
+	if misroutes == 0 {
+		t.Fatal("reactive drain produced no misroutes: push-off fallback is not exercising reactive rerouting")
+	}
+}

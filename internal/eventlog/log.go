@@ -115,6 +115,12 @@ type Log struct {
 	// by the next append or by Close. One channel serves any number of
 	// waiters, and an idle log with no waiters carries none at all.
 	waitCh chan struct{}
+	// notifies are the registered one-shot append callbacks (NotifyAppend):
+	// the multi-log waiter primitive behind session fetch, where one pump
+	// goroutine waits on "any of these logs appended" without parking a
+	// goroutine per log. Lazily allocated; an idle log carries none.
+	notifies map[uint64]appendNotify
+	notifyID uint64
 	// reads counts ReadBudgetInto calls — the probe the long-poll
 	// regression tests use to prove an idle consumer performs no log
 	// reads between appends.
@@ -156,13 +162,15 @@ func (l *Log) appendLocked(ev event.Event, now time.Time) {
 // now. It returns the assigned offset.
 func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	off := l.next
 	l.appendLocked(ev, now)
-	l.notifyLocked()
+	fired := l.notifyLocked()
+	l.mu.Unlock()
+	runNotifies(fired)
 	return off, nil
 }
 
@@ -170,28 +178,101 @@ func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 // offset. A batch is appended atomically with respect to readers.
 func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	first := l.next
 	for i := range evs {
 		l.appendLocked(evs[i], now)
 	}
+	var fired []func()
 	if len(evs) > 0 {
-		l.notifyLocked()
+		fired = l.notifyLocked()
 	}
+	l.mu.Unlock()
+	runNotifies(fired)
 	return first, nil
 }
 
-// notifyLocked wakes every tail waiter. Callers hold l.mu and have just
-// appended (or are closing the log). One broadcast per batch, not per
-// record: waiters re-check the end offset themselves.
-func (l *Log) notifyLocked() {
+// notifyLocked wakes every tail waiter and collects the registered
+// append callbacks whose offsets became readable. Callers hold l.mu and
+// have just appended (or are closing the log); the returned callbacks
+// must be invoked after l.mu is released — a callback is free to take
+// locks of its own, and running it under l.mu would order l.mu inside
+// them, the inverse of the registration path. One broadcast per batch,
+// not per record: waiters re-check the end offset themselves.
+func (l *Log) notifyLocked() []func() {
 	if l.waitCh != nil {
 		close(l.waitCh)
 		l.waitCh = nil
 	}
+	if len(l.notifies) == 0 {
+		return nil
+	}
+	var fired []func()
+	for id, n := range l.notifies {
+		if n.offset < l.next || l.closed {
+			fired = append(fired, n.fn)
+			delete(l.notifies, id)
+		}
+	}
+	return fired
+}
+
+// runNotifies invokes fired append callbacks, outside l.mu.
+func runNotifies(fired []func()) {
+	for _, fn := range fired {
+		fn()
+	}
+}
+
+// appendNotify is one registered one-shot append callback.
+type appendNotify struct {
+	offset int64
+	fn     func()
+}
+
+// NotifyAppend registers fn to run once, when the log end advances past
+// offset (data becomes readable at offset) or the log closes. If data
+// is already readable at offset — or the log is already closed — fn is
+// NOT invoked and registered is false: the caller's state is already
+// actionable and it should proceed directly.
+//
+// This is the callback flavor of WaitAppend, built for multiplexed
+// fetch sessions: one session pump subscribes to dozens of partition
+// logs, and parking a goroutine per log (one WaitAppend each) would
+// recreate exactly the per-partition cost sessions exist to remove.
+// Instead the pump registers a callback per dry log and parks once;
+// whichever log appends first wakes it. Callbacks run outside the log
+// lock but on the appender's goroutine, so they must be cheap and
+// non-blocking — set a flag, poke a channel — never fetch or block.
+//
+// The registration is one-shot: after fn runs it is forgotten, and
+// re-arming requires another NotifyAppend. Cancel with CancelNotify; a
+// callback already collected by a concurrent append may still run one
+// last time after CancelNotify returns, so callbacks must tolerate
+// late invocation.
+func (l *Log) NotifyAppend(offset int64, fn func()) (handle uint64, registered bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.next > offset {
+		return 0, false
+	}
+	l.notifyID++
+	if l.notifies == nil {
+		l.notifies = make(map[uint64]appendNotify, 4)
+	}
+	l.notifies[l.notifyID] = appendNotify{offset: offset, fn: fn}
+	return l.notifyID, true
+}
+
+// CancelNotify drops a NotifyAppend registration. Idempotent; unknown
+// (or already-fired) handles are ignored.
+func (l *Log) CancelNotify(handle uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.notifies, handle)
 }
 
 // WaitAppend blocks until the log end advances past offset (data is
@@ -502,13 +583,16 @@ func (l *Log) Compact() int {
 	return removed
 }
 
-// Close marks the log closed; subsequent operations fail with ErrClosed
-// and blocked tail waiters wake immediately.
+// Close marks the log closed; subsequent operations fail with ErrClosed,
+// blocked tail waiters wake immediately, and every registered append
+// callback fires one final time (callers re-check the log and observe
+// ErrClosed).
 func (l *Log) Close() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.closed = true
-	l.notifyLocked()
+	fired := l.notifyLocked()
+	l.mu.Unlock()
+	runNotifies(fired)
 }
 
 // searchRecords returns the index of the first record with offset >= off.

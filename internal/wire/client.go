@@ -55,8 +55,19 @@ type Options struct {
 	// server stops pushing once this many un-granted payload bytes are
 	// outstanding, so a stalled reader's server-side buffering is
 	// bounded in bytes even when event sizes vary wildly. Zero keeps
-	// the event-credit-only semantics.
+	// the event-credit-only semantics. Multiplexed fetch sessions use
+	// it as the session's shared byte window (zero = server default).
 	StreamWindowBytes int
+	// DisableSessionFetch masks FeatSessionFetch out of negotiation:
+	// the client consumes via per-partition streams (or plain fetch)
+	// even against session-capable servers. Used by interop tests and
+	// same-run benchmark baselines.
+	DisableSessionFetch bool
+	// DisableMetaPush masks FeatMetaPush out of negotiation: the
+	// client never receives pushed metadata and re-routes reactively
+	// after a misrouted request, the pre-push behavior. Used by interop
+	// and failover tests.
+	DisableMetaPush bool
 }
 
 // features is the feature set this client offers in negotiation.
@@ -67,6 +78,12 @@ func (o *Options) features() uint32 {
 	}
 	if o.DisableClusterMeta {
 		feats &^= FeatClusterMeta
+	}
+	if o.DisableSessionFetch {
+		feats &^= FeatSessionFetch
+	}
+	if o.DisableMetaPush {
+		feats &^= FeatMetaPush
 	}
 	return feats
 }
@@ -224,6 +241,23 @@ type wireConn struct {
 	// noStreams latches when the server refuses a stream open despite
 	// negotiation, pinning this connection to request/response fetch.
 	noStreams bool
+
+	// Multiplexed fetch session (FeatSessionFetch): at most one per
+	// connection, multiplexing every subscribed topic-partition over a
+	// single shared credit window (sessionclient.go). sessOpenMu
+	// serializes session opens (never held while the reader needs
+	// sessMu); sessMu guards the pointer and the noSessions latch.
+	sessOpenMu sync.Mutex
+	sessMu     sync.Mutex
+	session    *clientSession
+	nextSessID uint64
+	// noSessions latches when the server refuses a session open despite
+	// negotiation, falling back to per-partition streams.
+	noSessions bool
+
+	// onMetaPush, set before the reader starts, adopts server-pushed
+	// metadata documents (FeatMetaPush) into the client's routing table.
+	onMetaPush func(*MetadataResp)
 }
 
 // Dial connects and authenticates with an access key/secret.
@@ -429,6 +463,10 @@ func (c *Client) connect(addr string) (*wireConn, error) {
 		done:    make(chan struct{}),
 	}
 	wc.cond = sync.NewCond(&wc.mu)
+	// Pushed metadata re-routes before a request fails: adopt the
+	// document synchronously on the reader (adoptMetadata never blocks
+	// on network I/O) so the table is fresh before the next frame.
+	wc.onMetaPush = c.adoptMetadata
 	go wc.writeLoop()
 	go wc.readLoop()
 
@@ -711,6 +749,36 @@ func (wc *wireConn) readLoop() {
 				}
 				continue
 			}
+			if op == v2OpSessionBatch || op == v2OpSessionClose {
+				// Server-pushed session frame: corr packs session and sub
+				// IDs (payload included); never touches pending.
+				if err := wc.handleSessionPush(op, code, corr, body); err != nil {
+					wc.fail(err)
+					return
+				}
+				continue
+			}
+			if op == v2OpMetadataPush {
+				// Server-pushed cluster metadata (FeatMetaPush): adopt the
+				// fresh routing table so the next request already targets
+				// the new leaders.
+				var md *MetadataResp
+				if code == codeOK {
+					md = &MetadataResp{}
+					if err := md.DecodeBody(body); err != nil {
+						wc.fail(err)
+						return
+					}
+				}
+				if _, err := ReadPayloadInto(wc.rd, nil); err != nil {
+					wc.fail(err)
+					return
+				}
+				if md != nil && wc.onMetaPush != nil {
+					wc.onMetaPush(md)
+				}
+				continue
+			}
 		} else {
 			if err := json.Unmarshal(hb, &v1resp); err != nil {
 				wc.fail(fmt.Errorf("wire: bad header: %w", err))
@@ -971,13 +1039,34 @@ func (c *Client) fetchBuffered(topic string, partition int, offset int64, maxEve
 }
 
 // fetchBufferedAt serves one buffered fetch from the addressed broker:
-// through a stream session when the connection negotiated streaming,
-// else request/response.
+// through the connection's multiplexed fetch session when it
+// negotiated FeatSessionFetch, through a per-partition stream when it
+// negotiated streaming, else request/response.
 func (c *Client) fetchBufferedAt(addr, topic string, partition int, offset int64, maxEvents, maxBytes int, wait time.Duration, buf *broker.FetchBuffer) (broker.FetchResult, error) {
 	slot := c.slotFor(topic, partition)
 	wc, err := c.connAt(addr, slot)
 	if err != nil {
 		return broker.FetchResult{}, err
+	}
+	if wc.sessionEnabled() {
+		res, serr, handled := c.fetchSession(wc, topic, partition, offset, maxEvents, maxBytes, wait)
+		if handled {
+			if serr != nil && !errors.Is(serr, ErrConnClosed) && wc.errNow() != nil {
+				// Transport failure mid-session: one retry over a fresh
+				// connection to the same address, as on the stream path.
+				wc2, rerr := c.reconnectAt(addr, slot, wc)
+				if rerr != nil {
+					return broker.FetchResult{}, serr
+				}
+				if wc2.sessionEnabled() {
+					if res2, serr2, handled2 := c.fetchSession(wc2, topic, partition, offset, maxEvents, maxBytes, wait); handled2 {
+						return res2, serr2
+					}
+				}
+				return c.plainFetchBuffered(addr, slot, topic, partition, offset, maxEvents, maxBytes, wait, buf)
+			}
+			return res, serr
+		}
 	}
 	if wc.streamingEnabled() {
 		res, serr, handled := c.fetchStream(wc, topic, partition, offset, maxEvents, maxBytes, wait)

@@ -19,8 +19,12 @@ import (
 
 // maxInternedTopics bounds one connection's intern table so a hostile
 // peer cycling through fabricated topic names cannot grow it without
-// limit. Entries past the cap fall back to plain per-frame allocation —
-// correctness is unaffected, only the optimization stops.
+// limit. When a new topic arrives at a full table, the table is reset
+// and rebuilt from the connection's current working set — a long-lived
+// connection that legitimately rotates through many topics (rebalances,
+// topic churn) re-earns interning for the topics it still talks to,
+// instead of being pinned forever to whichever names came first.
+// Correctness is unaffected either way, only the optimization resets.
 const maxInternedTopics = 1024
 
 // Interner deduplicates decoded strings for one connection. The zero
@@ -48,10 +52,14 @@ func (in *Interner) Intern(b []byte) string {
 	s := string(b)
 	if in.m == nil {
 		in.m = make(map[string]string, 8)
+	} else if len(in.m) >= maxInternedTopics {
+		// Reset-on-cap: drop the full table and start over with the
+		// current working set. The table size is therefore pinned at
+		// maxInternedTopics entries no matter how many names a peer
+		// cycles through.
+		in.m = make(map[string]string, 8)
 	}
-	if len(in.m) < maxInternedTopics {
-		in.m[s] = s
-	}
+	in.m[s] = s
 	return s
 }
 

@@ -1,0 +1,38 @@
+package wire
+
+import "fmt"
+
+import "testing"
+
+// TestInternerCapBounded pins the reset-on-cap contract: a connection
+// cycling through arbitrarily many topic names can never grow its
+// intern table past maxInternedTopics entries. A hostile peer paying
+// one allocation per fabricated name buys at most a bounded map.
+func TestInternerCapBounded(t *testing.T) {
+	var in Interner
+	for i := 0; i < 5*maxInternedTopics; i++ {
+		name := fmt.Sprintf("topic-%d", i)
+		if got := in.Intern([]byte(name)); got != name {
+			t.Fatalf("interned %q as %q", name, got)
+		}
+		if len(in.m) > maxInternedTopics {
+			t.Fatalf("intern table grew to %d entries (cap %d) after %d names",
+				len(in.m), maxInternedTopics, i+1)
+		}
+	}
+	// The table reset at least once and kept working afterwards: a
+	// repeat lookup still resolves to one canonical string.
+	a := in.Intern([]byte("steady"))
+	b := in.Intern([]byte("steady"))
+	if a != b {
+		t.Fatal("post-reset interning lost canonicalization")
+	}
+}
+
+// TestInternerCapValue pins the cap itself: growing it silently would
+// loosen the per-connection memory bound this test exists to guard.
+func TestInternerCapValue(t *testing.T) {
+	if maxInternedTopics != 1024 {
+		t.Fatalf("maxInternedTopics = %d, want 1024 — an intentional change must update this pin", maxInternedTopics)
+	}
+}

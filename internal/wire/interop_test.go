@@ -24,18 +24,27 @@ func runWireSuite(t *testing.T, serverMax, clientMax, wantVersion int) {
 	runWireSuiteStreaming(t, serverMax, clientMax, wantVersion, false, false)
 }
 
+// suiteFeatures masks individual v2 features out of negotiation on
+// either side; the suite must pass identically through every fallback.
+type suiteFeatures struct {
+	serverNoStream, clientNoStream   bool
+	serverNoMeta, clientNoMeta       bool
+	serverNoSession, clientNoSession bool
+	serverNoPush, clientNoPush       bool
+}
+
 // runWireSuiteStreaming is runWireSuite with streaming fetch optionally
 // masked out of negotiation on either side — every event still arrives
 // through the request/response fallback.
 func runWireSuiteStreaming(t *testing.T, serverMax, clientMax, wantVersion int, serverNoStream, clientNoStream bool) {
 	t.Helper()
-	runWireSuiteFeatures(t, serverMax, clientMax, wantVersion, serverNoStream, clientNoStream, false, false)
+	runWireSuiteFeatures(t, serverMax, clientMax, wantVersion,
+		suiteFeatures{serverNoStream: serverNoStream, clientNoStream: clientNoStream})
 }
 
-// runWireSuiteFeatures additionally masks cluster metadata on either
-// side — the client must fall back to single-address slot hashing and
-// still pass the identical suite.
-func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, serverNoStream, clientNoStream, serverNoMeta, clientNoMeta bool) {
+// runWireSuiteFeatures runs the interop suite with the given feature
+// masks applied.
+func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, sf suiteFeatures) {
 	t.Helper()
 	f := broker.NewFabric(nil)
 	if err := f.AddBrokers(2, 2, 8); err != nil {
@@ -47,8 +56,10 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	s := NewServer(f)
 	s.AllowAnonymous = true
 	s.MaxVersion = serverMax
-	s.DisableStreaming = serverNoStream
-	s.DisableClusterMeta = serverNoMeta
+	s.DisableStreaming = sf.serverNoStream
+	s.DisableClusterMeta = sf.serverNoMeta
+	s.DisableSessionFetch = sf.serverNoSession
+	s.DisableMetaPush = sf.serverNoPush
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +68,8 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 
 	c, err := DialOptions(addr, Options{
 		Anonymous: true, MaxVersion: clientMax, PoolSize: 2,
-		DisableStreaming: clientNoStream, DisableClusterMeta: clientNoMeta,
+		DisableStreaming: sf.clientNoStream, DisableClusterMeta: sf.clientNoMeta,
+		DisableSessionFetch: sf.clientNoSession, DisableMetaPush: sf.clientNoPush,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -66,13 +78,21 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	if v := c.ProtocolVersion(); v != wantVersion {
 		t.Fatalf("negotiated v%d, want v%d (server max %d, client max %d)", v, wantVersion, serverMax, clientMax)
 	}
-	wantStream := wantVersion >= ProtocolV2 && !serverNoStream && !clientNoStream
+	wantStream := wantVersion >= ProtocolV2 && !sf.serverNoStream && !sf.clientNoStream
 	if gotStream := c.Features()&FeatStreamFetch != 0; gotStream != wantStream {
 		t.Fatalf("streaming negotiated = %v, want %v", gotStream, wantStream)
 	}
-	wantMeta := wantVersion >= ProtocolV2 && !serverNoMeta && !clientNoMeta
+	wantMeta := wantVersion >= ProtocolV2 && !sf.serverNoMeta && !sf.clientNoMeta
 	if gotMeta := c.RouterEnabled(); gotMeta != wantMeta {
 		t.Fatalf("metadata routing enabled = %v, want %v", gotMeta, wantMeta)
+	}
+	wantSession := wantVersion >= ProtocolV2 && !sf.serverNoSession && !sf.clientNoSession
+	if gotSession := c.Features()&FeatSessionFetch != 0; gotSession != wantSession {
+		t.Fatalf("session fetch negotiated = %v, want %v", gotSession, wantSession)
+	}
+	wantPush := wantVersion >= ProtocolV2 && !sf.serverNoPush && !sf.clientNoPush
+	if gotPush := c.Features()&FeatMetaPush != 0; gotPush != wantPush {
+		t.Fatalf("metadata push negotiated = %v, want %v", gotPush, wantPush)
 	}
 	if !wantMeta {
 		// The fallback contract: without the feature, OpMetadata is an
@@ -123,6 +143,15 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	}
 	if got != total {
 		t.Fatalf("consumed %d of %d", got, total)
+	}
+	// The negotiated transport is what actually served the consumer:
+	// the multiplexed session when negotiated, never otherwise.
+	sessOpen := s.met().sessionsOpen.Value()
+	if wantSession && sessOpen == 0 {
+		t.Fatal("no fetch session opened despite FeatSessionFetch")
+	}
+	if !wantSession && sessOpen != 0 {
+		t.Fatalf("%d fetch sessions open without FeatSessionFetch", sessOpen)
 	}
 
 	// Offset + metadata ops.
@@ -208,7 +237,7 @@ func TestInteropStreamingOffClientSide(t *testing.T) {
 // as unknown op) falls back to single-address slot hashing and passes
 // the identical suite.
 func TestInteropClusterMetaOffServerSide(t *testing.T) {
-	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, false, false, true, false)
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{serverNoMeta: true})
 }
 
 // TestInteropClusterMetaOffClientSide: a client that masks
@@ -216,5 +245,40 @@ func TestInteropClusterMetaOffServerSide(t *testing.T) {
 // address against a cluster-capable server, passing the identical
 // suite.
 func TestInteropClusterMetaOffClientSide(t *testing.T) {
-	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, false, false, false, true)
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoMeta: true})
+}
+
+// TestInteropSessionOffServerSide: a current client against a v2
+// server that predates multiplexed fetch sessions falls back to
+// per-partition streams (PR 4 behavior) and passes the identical suite.
+func TestInteropSessionOffServerSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{serverNoSession: true})
+}
+
+// TestInteropSessionOffClientSide: a client that masks FeatSessionFetch
+// consumes over per-partition streams from a session-capable server,
+// passing the identical suite.
+func TestInteropSessionOffClientSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoSession: true})
+}
+
+// TestInteropSessionAndStreamOff: both multiplexed sessions and
+// per-partition streams masked — the consumer rides plain pipelined
+// request/response fetch, the PR 3 behavior.
+func TestInteropSessionAndStreamOff(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2,
+		suiteFeatures{serverNoSession: true, serverNoStream: true})
+}
+
+// TestInteropMetaPushOffServerSide: a server that predates pushed
+// metadata serves a current client, which re-routes reactively after
+// misrouted requests exactly as before the feature.
+func TestInteropMetaPushOffServerSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{serverNoPush: true})
+}
+
+// TestInteropMetaPushOffClientSide: a client that masks FeatMetaPush
+// never receives pushed metadata and falls back to reactive re-fetch.
+func TestInteropMetaPushOffClientSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoPush: true})
 }

@@ -77,6 +77,14 @@ const (
 	// converted to v1 framing is rejected as an unknown op by legacy
 	// servers — the clean fallback to single-address routing.
 	OpMetadata Op = "metadata"
+	// Multiplexed fetch session ops (v2-only; FeatSessionFetch). The v1
+	// spellings exist purely so a session message converted to v1
+	// framing is rejected as an unknown op by legacy servers — the
+	// clean fallback to per-partition streams or plain fetch.
+	OpSessionOpen   Op = "session_open"
+	OpSessionSub    Op = "session_sub"
+	OpSessionCredit Op = "session_credit"
+	OpSessionClose  Op = "session_close"
 )
 
 // MaxFrame bounds a frame's payload to keep a misbehaving peer from

@@ -70,8 +70,24 @@ const (
 	// (internal/clusternet). Either side may mask it out; the client
 	// then falls back to single-address slot hashing.
 	FeatClusterMeta uint32 = 1 << 3
+	// FeatSessionFetch: the server supports multiplexed fetch sessions
+	// (OpSessionOpen/OpSessionSub/OpSessionBatch/OpSessionCredit/
+	// OpSessionClose): one session per connection subscribes to many
+	// topic-partitions, served by a single server pump goroutine under
+	// one shared byte-credit window — connection-scale serving cost,
+	// instead of a pump goroutine and credit window per partition
+	// stream. Either side may mask it out; the connection degrades to
+	// FeatStreamFetch per-partition streams (or plain fetch).
+	FeatSessionFetch uint32 = 1 << 4
+	// FeatMetaPush: the server pushes OpMetadataPush frames to every
+	// connection that negotiated the feature whenever the controller
+	// bumps the metadata epoch, so clients re-route to new leaders
+	// before a request fails. Either side may mask it out; the client
+	// then falls back to reactive metadata re-fetch (FeatClusterMeta).
+	FeatMetaPush uint32 = 1 << 5
 
-	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch | FeatClusterMeta
+	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch |
+		FeatClusterMeta | FeatSessionFetch | FeatMetaPush
 )
 
 // v2 operation bytes, one per message pair.
@@ -99,6 +115,20 @@ const (
 	v2OpStreamClose
 	// v2OpMetadata is cluster metadata discovery (FeatClusterMeta).
 	v2OpMetadata
+	// Multiplexed fetch session ops (FeatSessionFetch). SessionOpen and
+	// SessionSub are ordinary request/response pairs (the client sends
+	// sub removals one-way and lets the response drop); SessionBatch and
+	// server-side SessionClose are pushed frames correlated by
+	// sessionID<<32|subID; client-side SessionCredit and SessionClose
+	// are one-way requests the server never answers.
+	v2OpSessionOpen
+	v2OpSessionSub
+	v2OpSessionBatch
+	v2OpSessionCredit
+	v2OpSessionClose
+	// v2OpMetadataPush is a server-pushed cluster metadata document
+	// (FeatMetaPush), frame-compatible with an OpMetadata response body.
+	v2OpMetadataPush
 
 	// v2OpMax is one past the highest assigned op byte (pool sizing).
 	v2OpMax
@@ -404,6 +434,14 @@ func newReqMsg(op uint8) ReqMsg {
 		return &StreamCloseReq{}
 	case v2OpMetadata:
 		return &MetadataReq{}
+	case v2OpSessionOpen:
+		return &SessionOpenReq{}
+	case v2OpSessionSub:
+		return &SessionSubReq{}
+	case v2OpSessionCredit:
+		return &SessionCreditReq{}
+	case v2OpSessionClose:
+		return &SessionCloseReq{}
 	}
 	return nil
 }
@@ -460,6 +498,14 @@ func newRespMsg(op uint8) respMsg {
 	case v2OpStreamBatch:
 		return &FetchResp{}
 	case v2OpMetadata:
+		return &MetadataResp{}
+	case v2OpSessionOpen:
+		return &SessionOpenResp{}
+	case v2OpSessionSub:
+		return &SessionSubResp{}
+	case v2OpSessionBatch:
+		return &FetchResp{}
+	case v2OpMetadataPush:
 		return &MetadataResp{}
 	}
 	return nil

@@ -69,6 +69,15 @@ func (c *Client) RouterEnabled() bool {
 	return c.rt.enabled
 }
 
+// MetadataEpoch reports the epoch of the routing table the client
+// currently holds (0 before any metadata was adopted). Failover tests
+// poll it to observe a pushed document landing.
+func (c *Client) MetadataEpoch() int64 {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	return c.rt.epoch
+}
+
 // dataAddr resolves the broker address a data-plane request for the
 // partition should dial: the leader's advertised address when the
 // routing table knows it and lists the broker as up, else the seed.
@@ -216,6 +225,43 @@ func (c *Client) adoptMetadata(resp *MetadataResp) {
 	c.mu.Unlock()
 	for _, wc := range retire {
 		wc.fail(errEndpointRetired)
+	}
+
+	// Session hygiene: a multiplexed-session sub whose partition the new
+	// table routes elsewhere would keep draining the old connection's
+	// shared window (its server may even keep pushing), starving the
+	// subs that still belong there. Remove such subs now — consumers
+	// re-subscribe on the new leader's connection on their next fetch,
+	// which with pushed metadata happens before any request fails.
+	type staleSub struct {
+		sess *clientSession
+		sub  *clientSub
+	}
+	var stale []staleSub
+	c.mu.Lock()
+	for addr, ep := range c.eps {
+		for _, wc := range ep.slots {
+			if wc == nil {
+				continue
+			}
+			wc.sessMu.Lock()
+			sess := wc.session
+			wc.sessMu.Unlock()
+			if sess == nil {
+				continue
+			}
+			sess.mu.Lock()
+			for _, sub := range sess.subsByTP {
+				if c.dataAddr(sub.topic, sub.partition) != addr {
+					stale = append(stale, staleSub{sess, sub})
+				}
+			}
+			sess.mu.Unlock()
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range stale {
+		s.sess.removeSub(s.sub, true)
 	}
 }
 

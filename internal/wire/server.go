@@ -12,6 +12,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/broker"
 	"repro/internal/event"
+	"repro/internal/metrics"
 )
 
 // maxConnConcurrency bounds in-flight requests per connection: deep
@@ -58,6 +59,16 @@ type Server struct {
 	// OpMetadata is refused as an unknown op and clients fall back to
 	// single-address slot hashing.
 	DisableClusterMeta bool
+	// DisableSessionFetch masks FeatSessionFetch out of negotiation,
+	// emulating a v2 server that predates multiplexed fetch sessions:
+	// session opens are refused as unknown ops and clients fall back to
+	// per-partition streaming fetch.
+	DisableSessionFetch bool
+	// DisableMetaPush masks FeatMetaPush out of negotiation and stops
+	// the epoch watcher from pushing metadata frames, emulating a v2
+	// server that predates pushed metadata: clients fall back to
+	// reactive re-fetch after a misrouted request.
+	DisableMetaPush bool
 	// LocalBroker scopes this server to one broker of the fabric:
 	// produce, fetch and stream-open requests for partitions that
 	// broker does not lead are refused with ErrNotLeader (and counted
@@ -74,15 +85,73 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]bool
+	conns    map[net.Conn]*connState
 	closed   bool
+	watching bool
+	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	metOnce sync.Once
+	reg     *metrics.Registry
+	met_    *serverMetrics
+}
+
+// connState is the per-connection state the server tracks outside the
+// connection's own read loop, so the metadata pusher can find every
+// push-capable connection. Mutated under Server.mu (negotiation and
+// auth happen once per connection; pushes read a snapshot).
+type connState struct {
+	w        *respWriter
+	features uint32
+	authed   bool
+}
+
+// serverMetrics is the server's stream/session instrumentation,
+// exported through an internal/metrics Registry (see Server.Metrics).
+type serverMetrics struct {
+	// sessionsOpen / streamsOpen gauge currently open fetch sessions
+	// and per-partition streams across all connections.
+	sessionsOpen *metrics.Gauge
+	streamsOpen  *metrics.Gauge
+	// pumpParks counts session pump parks (no credit or no ready sub);
+	// creditStalls counts the subset parked with data ready but no
+	// window — true client backpressure.
+	pumpParks    *metrics.Counter
+	creditStalls *metrics.Counter
+	// metaPushes counts pushed metadata frames.
+	metaPushes *metrics.Counter
+}
+
+// met returns the server's metrics, creating the registry on first use.
+func (s *Server) met() *serverMetrics {
+	s.metOnce.Do(func() {
+		s.reg = metrics.NewRegistry()
+		s.met_ = &serverMetrics{
+			sessionsOpen: s.reg.Gauge("wire_sessions_open"),
+			streamsOpen:  s.reg.Gauge("wire_streams_open"),
+			pumpParks:    s.reg.Counter("wire_session_pump_parks"),
+			creditStalls: s.reg.Counter("wire_session_credit_stalls"),
+			metaPushes:   s.reg.Counter("wire_meta_pushes"),
+		}
+	})
+	return s.met_
+}
+
+// Metrics exposes the server's stream/session counters: open sessions
+// and streams, session pump parks and credit stalls, and pushed
+// metadata frames.
+func (s *Server) Metrics() *metrics.Registry {
+	s.met()
+	return s.reg
 }
 
 // NewServer creates a wire server for the fabric, serving every
 // partition (LocalBroker -1).
 func NewServer(f *broker.Fabric) *Server {
-	return &Server{Fabric: f, conns: make(map[net.Conn]bool), LocalBroker: -1}
+	return &Server{
+		Fabric: f, conns: make(map[net.Conn]*connState),
+		LocalBroker: -1, stop: make(chan struct{}),
+	}
 }
 
 // NewBrokerServer creates a wire server scoped to one broker of the
@@ -137,6 +206,12 @@ func (s *Server) featureMask() uint32 {
 	if s.DisableClusterMeta {
 		feats &^= FeatClusterMeta
 	}
+	if s.DisableSessionFetch {
+		feats &^= FeatSessionFetch
+	}
+	if s.DisableMetaPush {
+		feats &^= FeatMetaPush
+	}
 	return feats
 }
 
@@ -149,10 +224,64 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.listener = ln
+	if s.stop == nil {
+		s.stop = make(chan struct{})
+	}
+	// Start the metadata pusher with the first listener: on every
+	// controller epoch bump it pushes the fresh cluster view to every
+	// connection that negotiated FeatMetaPush, so clients re-route
+	// before a request fails rather than after.
+	watch := !s.watching && !s.DisableMetaPush && s.Fabric.Ctl != nil
+	if watch {
+		s.watching = true
+		s.wg.Add(1)
+	}
 	s.mu.Unlock()
+	if watch {
+		go s.watchEpochs()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
+}
+
+// watchEpochs pushes cluster metadata to push-capable connections on
+// every controller epoch bump. Bursts of bumps coalesce in the
+// watcher's channel, so a storm of topology changes costs a handful of
+// pushes, not one per change.
+func (s *Server) watchEpochs() {
+	defer s.wg.Done()
+	ch, cancel := s.Fabric.Ctl.WatchEpoch()
+	defer cancel()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ch:
+		}
+		s.pushMetadata()
+	}
+}
+
+// pushMetadata builds one metadata response and pushes it (corr 0 —
+// push frames are routed by op, not correlation) to every
+// authenticated connection that negotiated FeatMetaPush.
+func (s *Server) pushMetadata() {
+	resp := buildMetadataResp(s.Fabric, nil)
+	s.mu.Lock()
+	targets := make([]*respWriter, 0, len(s.conns))
+	for _, cst := range s.conns {
+		if cst.w != nil && cst.authed && cst.features&FeatMetaPush != 0 {
+			targets = append(targets, cst.w)
+		}
+	}
+	s.mu.Unlock()
+	met := s.met()
+	for _, w := range targets {
+		if w.writeV2(v2OpMetadataPush, 0, resp, nil, nil) == nil {
+			met.metaPushes.Inc()
+		}
+	}
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -168,7 +297,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = true
+		s.conns[conn] = &connState{authed: s.AllowAnonymous}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
@@ -183,6 +312,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.stop != nil {
+		close(s.stop)
+	}
 	if s.listener != nil {
 		s.listener.Close()
 	}
@@ -304,9 +436,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	// the read loop exits, so teardown never blocks behind a wait.
 	done := make(chan struct{})
 	streams := newConnStreams(s, w, done)
+	sessions := newConnSessions(s, w, done)
+	// cst mirrors this connection's auth and feature state for the
+	// metadata pusher; all mutations happen under s.mu.
+	s.mu.Lock()
+	cst := s.conns[conn]
+	if cst != nil {
+		cst.w = w
+	}
+	s.mu.Unlock()
 	defer func() {
 		close(done)
 		streams.closeAll()
+		sessions.closeAll()
 		handlers.Wait()
 		w.close()
 		s.mu.Lock()
@@ -363,6 +505,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			switch q := m.(type) {
 			case *AuthReq:
 				resp, aerr := s.authenticate(q, &identity, &authed)
+				if aerr == nil {
+					s.mu.Lock()
+					if cst != nil {
+						cst.authed = true
+					}
+					s.mu.Unlock()
+				}
 				putReqMsg(op, m)
 				if w.writeV2(op, corr, resp, aerr, nil) != nil {
 					return
@@ -416,6 +565,52 @@ func (s *Server) serveConn(conn net.Conn) {
 				streams.closeStream(q.ID)
 				putReqMsg(op, m)
 				continue
+			case *SessionOpenReq:
+				var resp *SessionOpenResp
+				oerr := fmt.Errorf("%w %d: session fetch not negotiated", errUnknownOp, op)
+				if features&FeatSessionFetch != 0 {
+					resp, oerr = sessions.open(q, identity, authed)
+				}
+				putReqMsg(op, m)
+				if oerr != nil {
+					if w.writeV2(op, corr, nil, oerr, nil) != nil {
+						return
+					}
+					continue
+				}
+				if w.writeV2(op, corr, resp, nil, nil) != nil {
+					return
+				}
+				continue
+			case *SessionSubReq:
+				// Always answered — the client treats removes as one-way
+				// and lets the response drop, but adds need the partition
+				// positions back.
+				var resp *SessionSubResp
+				serr := fmt.Errorf("%w %d: session fetch not negotiated", errUnknownOp, op)
+				if features&FeatSessionFetch != 0 {
+					resp, serr = sessions.sub(q, authed)
+				}
+				putReqMsg(op, m)
+				if serr != nil {
+					if w.writeV2(op, corr, nil, serr, nil) != nil {
+						return
+					}
+					continue
+				}
+				if w.writeV2(op, corr, resp, nil, nil) != nil {
+					return
+				}
+				continue
+			case *SessionCreditReq:
+				// One-way: grants for closed sessions are silently dropped.
+				sessions.credit(q.SessionID, q.CreditBytes)
+				putReqMsg(op, m)
+				continue
+			case *SessionCloseReq:
+				sessions.closeSession(q.SessionID)
+				putReqMsg(op, m)
+				continue
 			}
 			sem <- struct{}{}
 			handlers.Add(1)
@@ -465,6 +660,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				// v1 response above always leaves first.
 				version = ProtocolV2
 				features = resp.Features
+				s.mu.Lock()
+				if cst != nil {
+					cst.features = features
+				}
+				s.mu.Unlock()
 			default:
 				resp := &Response{Corr: req.Corr, Version: ProtocolV1}
 				if w.write(resp, nil) != nil {
@@ -475,6 +675,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		case OpAuth:
 			aresp := &Response{Corr: req.Corr}
 			resp, aerr := s.authenticate(&AuthReq{AccessKeyID: req.AccessKeyID, Secret: req.Secret}, &identity, &authed)
+			if aerr == nil {
+				s.mu.Lock()
+				if cst != nil {
+					cst.authed = true
+				}
+				s.mu.Unlock()
+			}
 			if aerr != nil {
 				aresp = errRespV1(aerr)
 				aresp.Corr = req.Corr

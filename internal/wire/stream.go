@@ -339,6 +339,7 @@ func (cs *connStreams) open(q *StreamOpenReq, identity string, authed bool) (*St
 	cs.m[q.ID] = st
 	cs.wg.Add(1)
 	cs.mu.Unlock()
+	cs.srv.met().streamsOpen.Add(1)
 	go cs.pump(st)
 	return &StreamOpenResp{HighWatermark: end, StartOffset: start}, nil
 }
@@ -386,6 +387,7 @@ func (cs *connStreams) closeStream(id uint64) {
 		st.cond.Broadcast()
 	}
 	st.mu.Unlock()
+	cs.srv.met().streamsOpen.Add(-1)
 }
 
 // closeAll tears every stream down (connection teardown) and waits for

@@ -56,7 +56,9 @@ func TestStreamingFetchServesConsumer(t *testing.T) {
 	defer stop()
 	const total = 1500
 	streamTopic(t, f, "st", 1, total)
-	c, err := DialAnonymous(addr)
+	// Pin the per-partition stream path: sessions would otherwise be
+	// preferred and no stream would open.
+	c, err := DialOptions(addr, Options{Anonymous: true, DisableSessionFetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestStreamCreditBoundsServerPush(t *testing.T) {
 	defer stop()
 	const total = 4000
 	streamTopic(t, f, "cb", 1, total)
-	c, err := DialAnonymous(addr)
+	c, err := DialOptions(addr, Options{Anonymous: true, DisableSessionFetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +208,7 @@ func TestStreamByteCreditBoundsServerPush(t *testing.T) {
 		}
 	}
 	const window = 8 << 10 // 8 KB ≈ 8 events; event credit alone would allow 256
-	c, err := DialOptions(addr, Options{Anonymous: true, StreamWindowBytes: window})
+	c, err := DialOptions(addr, Options{Anonymous: true, StreamWindowBytes: window, DisableSessionFetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,7 @@ func TestStreamSeekReopens(t *testing.T) {
 	f, addr, stop := startServer(t, true)
 	defer stop()
 	streamTopic(t, f, "sk", 1, 300)
-	c, err := DialAnonymous(addr)
+	c, err := DialOptions(addr, Options{Anonymous: true, DisableSessionFetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}

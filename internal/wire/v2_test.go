@@ -43,6 +43,11 @@ func fuzzReqSeeds() []ReqMsg {
 		&StreamCreditReq{ID: 10, Credit: 64, CreditBytes: 65536},
 		&MetadataReq{},
 		&MetadataReq{Topics: []string{"a", "b"}},
+		&SessionOpenReq{ID: 3, MaxEvents: 500, MaxBytes: 1 << 20, CreditBytes: 1 << 20},
+		&SessionSubReq{SessionID: 3, SubID: 12, Topic: "sess", Partition: 5, Offset: 1 << 34},
+		&SessionSubReq{SessionID: 3, SubID: 12, Remove: true},
+		&SessionCreditReq{SessionID: 3, CreditBytes: 65536},
+		&SessionCloseReq{SessionID: 3},
 	}
 }
 
@@ -78,6 +83,21 @@ func fuzzRespSeeds() []struct {
 			b.SetOffsets([]event.Event{{Offset: 20}, {Offset: 21}, {Offset: 30}})
 			return b
 		}()},
+		{v2OpSessionOpen, &SessionOpenResp{CreditBytes: 1 << 20}},
+		{v2OpSessionSub, &SessionSubResp{HighWatermark: 77, StartOffset: 4}},
+		{v2OpSessionBatch, func() Msg {
+			b := &FetchResp{NumEvents: 2, HighWatermark: 9, StartOffset: 0}
+			b.SetOffsets([]event.Event{{Offset: 7}, {Offset: 8}})
+			return b
+		}()},
+		{v2OpMetadataPush, &MetadataResp{
+			Epoch:   7,
+			Brokers: []BrokerMeta{{ID: 2, Addr: "10.0.0.3:9092", Up: true}},
+			Topics: []TopicLeadership{{
+				Name:       "p",
+				Partitions: []PartitionLeadership{{Leader: 2, Replicas: []int{2}, ISR: []int{2}}},
+			}},
+		}},
 		{v2OpMetadata, &MetadataResp{
 			Epoch: 42,
 			Brokers: []BrokerMeta{
@@ -355,9 +375,22 @@ func FuzzDecodeStreamFrames(f *testing.F) {
 	batch.SetOffsets([]event.Event{{Offset: 40}, {Offset: 41}, {Offset: 42}, {Offset: 43}})
 	f.Add(uint8(3), AppendResponseV2(nil, v2OpStreamBatch, 7, batch))
 	f.Add(uint8(3), appendErrResponseV2(nil, v2OpStreamClose, 7, fmt.Errorf("%w: gone", eventlog.ErrOffsetOutOfRange)))
+	f.Add(uint8(0), AppendRequestV2(nil, 6, &SessionOpenReq{ID: 2, MaxEvents: 500, MaxBytes: 1 << 20, CreditBytes: 1 << 20}))
+	f.Add(uint8(1), AppendRequestV2(nil, 7, &SessionSubReq{SessionID: 2, SubID: 9, Topic: "t", Partition: 1, Offset: 50}))
+	f.Add(uint8(1), AppendRequestV2(nil, 8, &SessionSubReq{SessionID: 2, SubID: 9, Remove: true}))
+	f.Add(uint8(2), AppendRequestV2(nil, 9, &SessionCreditReq{SessionID: 2, CreditBytes: 4096}))
+	f.Add(uint8(2), AppendRequestV2(nil, 10, &SessionCloseReq{SessionID: 2}))
+	f.Add(uint8(3), AppendResponseV2(nil, v2OpSessionBatch, sessCorr(2, 9), batch))
+	f.Add(uint8(3), appendErrResponseV2(nil, v2OpSessionClose, sessCorr(2, 9), fmt.Errorf("%w: gone", eventlog.ErrOffsetOutOfRange)))
+	f.Add(uint8(3), AppendResponseV2(nil, v2OpMetadataPush, 0, &MetadataResp{
+		Epoch:   3,
+		Brokers: []BrokerMeta{{ID: 0, Addr: "b0:1", Up: true}},
+		Topics:  []TopicLeadership{{Name: "t", Partitions: []PartitionLeadership{{Leader: 0, Replicas: []int{0}, ISR: []int{0}}}}},
+	}))
 	f.Fuzz(func(t *testing.T, kind uint8, b []byte) {
 		if kind%4 == 3 {
-			// Pushed frames: client-side prefix + batch body decode.
+			// Pushed frames: client-side prefix decode, then the body of
+			// whichever push shape the op names (batch or metadata).
 			op, code, corr, body, err := decodeRespPrefixV2(b)
 			if err != nil {
 				return
@@ -370,9 +403,30 @@ func FuzzDecodeStreamFrames(f *testing.F) {
 				}
 				return
 			}
+			if op == v2OpMetadataPush {
+				var m MetadataResp
+				if err := m.DecodeBody(body); err != nil {
+					return
+				}
+				enc := AppendResponseV2(nil, op, corr, &m)
+				var m2 MetadataResp
+				op2, corr2, err := DecodeResponseV2(enc, &m2)
+				if err != nil || op2 != op || corr2 != corr {
+					t.Fatalf("canonical metadata push re-decode: op %d→%d corr %d→%d err %v", op, op2, corr, corr2, err)
+				}
+				if enc2 := AppendResponseV2(nil, op2, corr2, &m2); !bytes.Equal(enc, enc2) {
+					t.Fatalf("unstable metadata push round trip\n %x\n %x", enc, enc2)
+				}
+				return
+			}
 			var m FetchResp
 			if err := m.DecodeBody(body); err != nil {
 				return
+			}
+			// Session frames pack (session, sub) into the corr; the split
+			// must be lossless for any corr the decoder accepts.
+			if sid, sub := splitSessCorr(corr); op == v2OpSessionBatch && sessCorr(sid, sub) != corr {
+				t.Fatalf("sessCorr not lossless for %#x", corr)
 			}
 			enc := AppendResponseV2(nil, op, corr, &m)
 			var m2 FetchResp
@@ -393,9 +447,10 @@ func FuzzDecodeStreamFrames(f *testing.F) {
 			return
 		}
 		switch m.(type) {
-		case *StreamOpenReq, *StreamCreditReq, *StreamCloseReq:
+		case *StreamOpenReq, *StreamCreditReq, *StreamCloseReq,
+			*SessionOpenReq, *SessionSubReq, *SessionCreditReq, *SessionCloseReq:
 		default:
-			return // not a stream op; covered by FuzzDecodeRequestV2
+			return // not a stream/session op; covered by FuzzDecodeRequestV2
 		}
 		enc := AppendRequestV2(nil, corr, m)
 		m2 := newReqMsg(op)

@@ -414,6 +414,74 @@ func BenchmarkLeaderDirectRouting(b *testing.B) {
 	b.ReportMetric(directThru/proxiedThru, "speedup_x")
 }
 
+// BenchmarkManyConnections gates PR 6's tentpole: Conns connections
+// each consuming 64 partitions run once over per-partition streams
+// (PR 4 — one server pump goroutine per partition per connection) and
+// once over multiplexed fetch sessions (one pump per connection, one
+// shared credit window), in the same run. Gates: the session path adds
+// at most 2 goroutines per connection for all 64 subscriptions; the
+// stream path's total per-connection footprint is at least 2x the
+// session path's; and session allocs/event are no worse than the PR 4
+// streaming baseline (small tolerance for process-wide noise). The
+// fixture's teardown doubles as a goroutine-leak gate on both paths.
+func BenchmarkManyConnections(b *testing.B) {
+	// The identical fixture backs octopus-bench -connections, so the
+	// operator-visible comparison is the one CI gates.
+	const conns, parts, perPart, eventSize = 16, 64, 200, 100
+	fx, err := testbed.NewConnScaleFixture(conns, parts, perPart, eventSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fx.Close)
+	stream, err := fx.Run(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := fx.Run(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sess.ServingPerConn > 2 {
+		b.Fatalf("sessioned fetch adds %.2f goroutines/connection serving %d partitions, budget 2",
+			sess.ServingPerConn, parts)
+	}
+	if stream.GoroutinesPerConn < 2*sess.GoroutinesPerConn {
+		b.Fatalf("per-partition streams %.1f goroutines/connection < 2x sessioned %.1f at %d partitions",
+			stream.GoroutinesPerConn, sess.GoroutinesPerConn, parts)
+	}
+	if sess.AllocsPerEvent > 1.1*stream.AllocsPerEvent {
+		b.Fatalf("sessioned fetch %.2f allocs/event vs streaming baseline %.2f in the same run",
+			sess.AllocsPerEvent, stream.AllocsPerEvent)
+	}
+
+	// Timed loop: steady-state sessioned consumption of one partition.
+	c, err := wire.DialOptions(fx.Addr(), wire.Options{Anonymous: true, PoolSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var buf broker.FetchBuffer
+	b.SetBytes(eventSize * 100)
+	b.ResetTimer()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		res, err := c.FetchBuffered("", "cs", 0, off, 100, 1<<20, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if off = res.Events[len(res.Events)-1].Offset + 1; off >= perPart {
+			off = 0
+		}
+	}
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(sess.GoroutinesPerConn, "sess_goroutines/conn")
+	b.ReportMetric(stream.GoroutinesPerConn, "stream_goroutines/conn")
+	b.ReportMetric(sess.AllocsPerEvent, "sess_allocs/event")
+	b.ReportMetric(stream.AllocsPerEvent, "stream_allocs/event")
+	b.ReportMetric(stream.GoroutinesPerConn/sess.GoroutinesPerConn, "goroutine_reduction_x")
+}
+
 // BenchmarkUnmarshalBatchAllocs pins the fetch-side wire decode: one
 // events slice per batch, zero per-field copies.
 func BenchmarkUnmarshalBatchAllocs(b *testing.B) {
@@ -472,8 +540,14 @@ func BenchmarkStreamingFetch(b *testing.B) {
 	}
 	defer srv.Close()
 	remote := delayProxy(b, addr, time.Millisecond)
+	// Both dials disable PR 6 sessions: this gate compares the PR 2
+	// pipelined fetcher against the PR 4 per-partition stream, so each
+	// side is pinned to exactly its transport.
 	dial := func(disableStreaming bool) *wire.Client {
-		c, err := wire.DialOptions(remote, wire.Options{Anonymous: true, PoolSize: 1, DisableStreaming: disableStreaming})
+		c, err := wire.DialOptions(remote, wire.Options{
+			Anonymous: true, PoolSize: 1,
+			DisableStreaming: disableStreaming, DisableSessionFetch: true,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous consume -topic t -from earliest -max 10
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous offsets -topic t
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous metadata
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous isr -topic t
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets|metadata [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets|metadata|isr [subflags]")
 		os.Exit(2)
 	}
 
@@ -57,6 +58,8 @@ func main() {
 		offsets(conn, args[1:])
 	case "metadata":
 		metadata(conn, args[1:])
+	case "isr":
+		isr(conn, args[1:])
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
@@ -99,6 +102,55 @@ func metadata(conn *wire.Client, args []string) {
 				leader = "NONE"
 			}
 			fmt.Printf("    partition %d: leader=%s replicas=%v isr=%v\n", i, leader, p.Replicas, p.ISR)
+		}
+	}
+}
+
+// isr prints the metadata document's trailing replication section —
+// per-partition leadership, in-sync replica set, leader epoch, high
+// watermark, and each follower's replication lag. Partitions the
+// replication subsystem has not tracked yet (no acks=all produce or
+// replica fetch) are listed without replication state.
+func isr(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("isr", flag.ExitOnError)
+	topic := fs.String("topic", "", "restrict to one topic (default: all)")
+	_ = fs.Parse(args)
+	var topics []string
+	if *topic != "" {
+		topics = append(topics, *topic)
+	}
+	meta, err := conn.ClusterMetadata(topics...)
+	if err != nil {
+		log.Fatalf("metadata: %v (the server may predate FeatClusterMeta)", err)
+	}
+	if meta.Replication == nil {
+		log.Fatal("no replication section: the cluster serves without the replication subsystem")
+	}
+	tracked := make(map[string]map[int]wire.PartitionReplication)
+	for _, t := range meta.Replication.Topics {
+		m := make(map[int]wire.PartitionReplication, len(t.Partitions))
+		for _, p := range t.Partitions {
+			m[p.ID] = p
+		}
+		tracked[t.Name] = m
+	}
+	for _, t := range meta.Topics {
+		fmt.Printf("%s (%d partitions)\n", t.Name, len(t.Partitions))
+		for i, p := range t.Partitions {
+			leader := fmt.Sprintf("broker-%d", p.Leader)
+			if p.Leader < 0 {
+				leader = "NONE"
+			}
+			fmt.Printf("  partition %d: leader=%s replicas=%v isr=%v", i, leader, p.Replicas, p.ISR)
+			rp, ok := tracked[t.Name][i]
+			if !ok {
+				fmt.Printf(" (replication untracked)\n")
+				continue
+			}
+			fmt.Printf(" epoch=%d hw=%d leo=%d\n", rp.LeaderEpoch, rp.HighWatermark, rp.LogEnd)
+			for _, fo := range rp.Followers {
+				fmt.Printf("    follower broker-%d: leo=%d lag=%d\n", fo.Broker, fo.LogEnd, rp.LogEnd-fo.LogEnd)
+			}
 		}
 	}
 }

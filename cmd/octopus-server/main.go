@@ -13,6 +13,14 @@
 //
 //	octopus-server -brokers 4 -cluster -wire 127.0.0.1:9092
 //
+// With -replication (requires -cluster), followers replicate from
+// partition leaders over wire-v2 OpReplicaFetch, ISR membership and
+// high watermarks are tracked per partition, and acks=all gates on
+// real replication; add -data to back every broker's logs with
+// durable segment files that replay after a crash:
+//
+//	octopus-server -brokers 3 -cluster -replication -data /var/lib/octopus
+//
 // For a first run, -bootstrap-user creates an identity and prints a
 // token and fabric key so the CLI can connect immediately.
 package main
@@ -39,17 +47,25 @@ func main() {
 	vcpus := flag.Int("vcpus", 2, "vCPUs per broker (capacity model)")
 	wireAddr := flag.String("wire", "127.0.0.1:9092", "event fabric TCP listen address")
 	clusterMode := flag.Bool("cluster", false, "one wire listener per broker (ports ascending from -wire's), leader-direct routing")
+	replication := flag.Bool("replication", false, "inter-broker replication over OpReplicaFetch with ISR/high-watermark tracking (requires -cluster)")
+	dataDir := flag.String("data", "", "durable segment directory; each broker persists its logs under <data>/broker-<id> (empty: in-memory)")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "web service HTTP listen address")
 	bootstrapUser := flag.String("bootstrap-user", "", "create this identity at startup and print credentials")
 	anonymous := flag.Bool("anonymous", false, "allow unauthenticated wire connections")
 	retentionSweep := flag.Duration("retention-sweep", time.Minute, "how often to enforce topic retention")
 	flag.Parse()
 
-	oct, err := core.Launch(core.Config{Brokers: *brokers, VCPUs: *vcpus})
+	if *replication && !*clusterMode {
+		log.Fatal("-replication requires -cluster (followers replicate over per-broker wire listeners)")
+	}
+	oct, err := core.Launch(core.Config{Brokers: *brokers, VCPUs: *vcpus, DataDir: *dataDir})
 	if err != nil {
 		log.Fatalf("launch: %v", err)
 	}
 	defer oct.Shutdown()
+	if *dataDir != "" {
+		log.Printf("durable segments under %s (replayed on restart)", *dataDir)
+	}
 
 	// Built-in actions users can attach triggers to via the web service.
 	oct.Triggers.RegisterAction("log", func(inv *trigger.Invocation) error {
@@ -88,13 +104,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("wire listen: %v", err)
 		}
-		cnet, err := clusternet.Serve(oct.Fabric, clusternet.Options{AllowAnonymous: *anonymous, Addrs: addrs})
+		cnet, err := clusternet.Serve(oct.Fabric, clusternet.Options{
+			AllowAnonymous: *anonymous, Addrs: addrs, Replication: *replication,
+		})
 		if err != nil {
 			log.Fatalf("wire listen: %v", err)
 		}
 		defer cnet.Close()
 		for _, id := range oct.Fabric.NodeIDs() {
 			log.Printf("broker %d wire endpoint%s on %s (leader-scoped, protocol v1-v%d)", id, mode, cnet.Addr(id), wire.MaxProtocol)
+		}
+		if *replication {
+			log.Printf("replication: followers pull over OpReplicaFetch, acks=all gated on ISR high watermarks")
 		}
 	} else {
 		listen := oct.ListenWire

@@ -9,6 +9,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -54,12 +55,26 @@ var (
 	// ErrLeaderUnavailable reports a produce/fetch against a partition
 	// whose leader is down and not yet re-elected.
 	ErrLeaderUnavailable = errors.New("broker: partition leader unavailable")
+	// ErrNoLeader reports a partition left leaderless (Leader = -1): no
+	// in-sync replica survives to elect. It wraps ErrLeaderUnavailable so
+	// existing errors.Is(err, ErrLeaderUnavailable) checks keep matching,
+	// while routers can distinguish "leader moved, refetch metadata"
+	// (ErrLeaderUnavailable alone) from "nobody to route to, back off
+	// until a replica returns" (ErrNoLeader).
+	ErrNoLeader = fmt.Errorf("no in-sync replica survives: %w", ErrLeaderUnavailable)
 	// ErrBrokerDown reports an operation routed to a stopped broker.
 	ErrBrokerDown = errors.New("broker: broker is down")
 	// ErrNoPartition reports an out-of-range partition id.
 	ErrNoPartition = errors.New("broker: no such partition")
 	// ErrNotEnoughReplicas reports acks=all with too few in-sync replicas.
 	ErrNotEnoughReplicas = errors.New("broker: not enough in-sync replicas")
+	// ErrFencedEpoch reports a replica fetch or ack carrying a stale
+	// leader epoch: the partition elected a newer leader, and the caller
+	// must refetch metadata, truncate to the new leader's log and retry.
+	ErrFencedEpoch = errors.New("broker: fenced leader epoch")
+	// ErrNoReplicator reports a replication op on a fabric without an
+	// attached replication subsystem.
+	ErrNoReplicator = errors.New("broker: replication not enabled")
 )
 
 // TP identifies a topic partition.
@@ -85,16 +100,39 @@ func newNode(info cluster.BrokerInfo) *Node {
 	return &Node{ID: info.ID, Info: info, logs: make(map[TP]*eventlog.Log)}
 }
 
-// log returns (creating if needed) the replica log for tp.
-func (n *Node) log(tp TP, cfg eventlog.Config) *eventlog.Log {
+// log returns (creating if needed) the replica log for tp. Nodes with a
+// DataDir open file-backed logs under <dir>/<topic>-p<partition>,
+// replaying any segment files a previous incarnation left behind.
+func (n *Node) log(tp TP, cfg eventlog.Config) (*eventlog.Log, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	l, ok := n.logs[tp]
 	if !ok {
-		l = eventlog.New(cfg)
+		if n.Info.DataDir != "" {
+			cfg.Dir = filepath.Join(n.Info.DataDir, fmt.Sprintf("%s-p%d", tp.Topic, tp.Partition))
+		}
+		var err error
+		l, err = eventlog.Open(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("broker %d: open log %s: %w", n.ID, tp, err)
+		}
 		n.logs[tp] = l
 	}
-	return l
+	return l, nil
+}
+
+// dropLogs abruptly discards the node's in-memory log state — the
+// kill -9 half of a crash simulation. File-backed logs keep their
+// segment files (reopened and replayed on recovery); purely in-memory
+// logs lose everything, exactly like a real process death.
+func (n *Node) dropLogs() {
+	n.mu.Lock()
+	logs := n.logs
+	n.logs = make(map[TP]*eventlog.Log)
+	n.mu.Unlock()
+	for _, l := range logs {
+		l.Close()
+	}
 }
 
 func (n *Node) existingLog(tp TP) (*eventlog.Log, bool) {
@@ -159,6 +197,15 @@ type Fabric struct {
 	// MinInsyncReplicas is the minimum ISR size accepted by acks=all
 	// produces (Kafka's min.insync.replicas; default 1).
 	MinInsyncReplicas int
+
+	// repl is the attached inter-broker replication subsystem (nil when
+	// the fabric runs in the single-process mode, where replication is a
+	// synchronous in-process append). Stored atomically: produce reads
+	// it per call.
+	repl atomic.Value // Replicator
+	// tiered serves reads below the local log start from archived
+	// segments (nil = no tiered storage attached).
+	tiered atomic.Value // TieredReader
 
 	// Hot-path counters, resolved once so produce/fetch skip the
 	// registry's name lookup (and its mutex) per call.
@@ -251,7 +298,7 @@ func (f *Fabric) PartitionLeader(topic string, partition int) (int, error) {
 	}
 	id := rt.parts[partition].leaderID
 	if id < 0 {
-		return -1, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
+		return -1, fmt.Errorf("%w: %s/%d", ErrNoLeader, topic, partition)
 	}
 	return id, nil
 }
@@ -420,7 +467,7 @@ func (f *Fabric) produce(identity, topic string, partition int, evs []event.Even
 func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks Acks) (int64, error) {
 	pr := &rt.parts[p]
 	if pr.leaderID < 0 || pr.leader == nil {
-		return 0, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, rt.meta.Name, p)
+		return 0, fmt.Errorf("%w: %s/%d", ErrNoLeader, rt.meta.Name, p)
 	}
 	if pr.leader.Down() {
 		return 0, fmt.Errorf("%w: %s/%d leader %d", ErrLeaderUnavailable, rt.meta.Name, p, pr.leaderID)
@@ -433,14 +480,28 @@ func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks
 	if err != nil {
 		return 0, err
 	}
-	// Replicate to in-sync followers. Replication is synchronous within
-	// the produce call: followers apply the same batch at the same
-	// offsets, so logs stay identical and failover is lossless for
-	// acks>=1 produces. (The latency cost of waiting is modeled by the
-	// client/testbed layers; in-process application is immediate.) The
-	// follower handles were resolved at route-build time; any ISR change
-	// bumps the metadata epoch and rebuilds the route before the next
-	// call.
+	if r := f.Replicator(); r != nil {
+		// Wire replication: followers pull this batch over
+		// OpReplicaFetch. The leader's append advances its own entry in
+		// the high-watermark accounting; acks=all waits for the HW to
+		// pass the batch (every ISR member replicated it) instead of
+		// copying to follower logs in-process.
+		tp := TP{Topic: rt.meta.Name, Partition: p}
+		end := base + int64(len(evs))
+		r.LeaderAppended(tp, end)
+		if acks == AcksAll {
+			if err := r.WaitCommitted(tp, end-1); err != nil {
+				return 0, fmt.Errorf("broker: replicate %s-%d: %w", rt.meta.Name, p, err)
+			}
+		}
+		return base, nil
+	}
+	// Single-process mode: replicate to in-sync followers synchronously
+	// within the produce call — followers apply the same batch at the
+	// same offsets, so logs stay identical and failover is lossless for
+	// acks>=1 produces. The follower handles were resolved at
+	// route-build time; any ISR change bumps the metadata epoch and
+	// rebuilds the route before the next call.
 	for _, fl := range pr.followers {
 		if _, err := fl.AppendBatch(evs, now); err != nil {
 			return 0, fmt.Errorf("broker: replicate %s-%d: %w", rt.meta.Name, p, err)
@@ -507,10 +568,18 @@ func (f *Fabric) fetch(identity, topic string, partition int, offset int64, maxE
 	}
 	evs, err := pr.log.ReadBudgetInto(offset, maxEvents, maxBytes, dst)
 	if err != nil {
-		return FetchResult{}, err
+		// An offset below local retention may still live in the archive
+		// tier: serve it from there instead of failing the consumer.
+		return f.tieredFetch(pr, topic, partition, offset, maxEvents, maxBytes, dst, err)
 	}
 	f.cFetched.Add(int64(len(evs)))
-	return FetchResult{Events: evs, HighWatermark: pr.log.EndOffset(), StartOffset: pr.log.StartOffset()}, nil
+	res := FetchResult{Events: evs, HighWatermark: pr.log.EndOffset(), StartOffset: pr.log.StartOffset()}
+	if r := f.Replicator(); r != nil {
+		if hw, ok := r.HighWatermark(TP{Topic: topic, Partition: partition}); ok {
+			res.HighWatermark = hw
+		}
+	}
+	return res, nil
 }
 
 // FetchWaitInto is FetchInto with a long-poll: when the partition has
@@ -696,7 +765,10 @@ func (f *Fabric) RestartBroker(id int) error {
 			if !ok {
 				continue
 			}
-			dst := n.log(tp, logConfig(meta.Config))
+			dst, err := n.log(tp, logConfig(meta.Config))
+			if err != nil {
+				return fmt.Errorf("broker: catch-up %s on %d: %w", tp, id, err)
+			}
 			from := dst.EndOffset()
 			if start := src.StartOffset(); from < start {
 				from = start

@@ -33,6 +33,9 @@ type partitionRoute struct {
 	leader *Node
 	// log is the leader's replica log.
 	log *eventlog.Log
+	// leaderEpoch is the partition's leader epoch at route-build time;
+	// replication fetches are fenced against it.
+	leaderEpoch int64
 	// followers are the in-sync, live follower logs (leader excluded)
 	// that synchronous replication appends to.
 	followers []*eventlog.Log
@@ -88,7 +91,11 @@ func (f *Fabric) buildRoute(topic string) (*topicRoute, error) {
 		}
 		tp := TP{Topic: meta.Name, Partition: pm.ID}
 		pr.leader = leader
-		pr.log = leader.log(tp, lcfg)
+		pr.log, err = leader.log(tp, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		pr.leaderEpoch = pm.LeaderEpoch
 		for _, r := range pm.ISR {
 			if r == pm.Leader {
 				continue
@@ -97,7 +104,11 @@ func (f *Fabric) buildRoute(topic string) (*topicRoute, error) {
 			if !ok || fn.Down() {
 				continue
 			}
-			pr.followers = append(pr.followers, fn.log(tp, lcfg))
+			fl, err := fn.log(tp, lcfg)
+			if err != nil {
+				return nil, err
+			}
+			pr.followers = append(pr.followers, fl)
 		}
 	}
 	f.routes.Store(topic, rt)
@@ -137,7 +148,10 @@ func (f *Fabric) partitionRoute(topic string, partition int) (*partitionRoute, e
 		return nil, fmt.Errorf("cluster: %s has no partition %d", topic, partition)
 	}
 	pr := &rt.parts[partition]
-	if pr.leaderID < 0 || pr.leader == nil || pr.leader.Down() {
+	if pr.leaderID < 0 || pr.leader == nil {
+		return nil, fmt.Errorf("%w: %s/%d", ErrNoLeader, topic, partition)
+	}
+	if pr.leader.Down() {
 		return nil, fmt.Errorf("%w: %s/%d", ErrLeaderUnavailable, topic, partition)
 	}
 	return pr, nil

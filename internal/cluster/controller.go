@@ -345,6 +345,7 @@ func (c *Controller) HandleBrokerFailure(brokerID int) []PartitionMeta {
 				} else {
 					p.Leader = -1
 				}
+				p.LeaderEpoch++
 			}
 			changed = append(changed, *p)
 			dirty = true
@@ -381,6 +382,7 @@ func (c *Controller) HandleBrokerRecovery(brokerID int) []PartitionMeta {
 			sort.Ints(p.ISR)
 			if p.Leader == -1 {
 				p.Leader = brokerID
+				p.LeaderEpoch++
 			}
 			changed = append(changed, *p)
 			dirty = true
@@ -391,4 +393,72 @@ func (c *Controller) HandleBrokerRecovery(brokerID int) []PartitionMeta {
 	}
 	c.bumpEpoch()
 	return changed
+}
+
+// ExpandISR adds a caught-up replica back to one partition's in-sync
+// set — the per-partition rejoin path replication uses once a follower's
+// fetch offset reaches the leader's log end. If the partition is
+// leaderless the rejoining replica is elected leader (bumping the leader
+// epoch). Adding a broker that is not a replica is an error; adding one
+// already in the ISR is a no-op.
+func (c *Controller) ExpandISR(topic string, id, brokerID int) (PartitionMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, err := c.Topic(topic)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	if id < 0 || id >= len(meta.Partitions) {
+		return PartitionMeta{}, fmt.Errorf("cluster: %s has no partition %d", topic, id)
+	}
+	p := &meta.Partitions[id]
+	if !p.HasReplica(brokerID) {
+		return *p, fmt.Errorf("cluster: broker %d is not a replica of %s/%d", brokerID, topic, id)
+	}
+	if p.InISR(brokerID) {
+		return *p, nil
+	}
+	p.ISR = append(p.ISR, brokerID)
+	sort.Ints(p.ISR)
+	if p.Leader == -1 {
+		p.Leader = brokerID
+		p.LeaderEpoch++
+	}
+	if _, err := c.reg.Set(topicPath(topic), meta.marshal()); err != nil {
+		return *p, err
+	}
+	c.bumpEpoch()
+	return *p, nil
+}
+
+// ShrinkISR removes a lagging replica from one partition's in-sync set,
+// so acks=all produces stop waiting on it. The leader itself is never
+// removed this way (leader loss goes through HandleBrokerFailure).
+// Removing a broker not in the ISR is a no-op.
+func (c *Controller) ShrinkISR(topic string, id, brokerID int) (PartitionMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, err := c.Topic(topic)
+	if err != nil {
+		return PartitionMeta{}, err
+	}
+	if id < 0 || id >= len(meta.Partitions) {
+		return PartitionMeta{}, fmt.Errorf("cluster: %s has no partition %d", topic, id)
+	}
+	p := &meta.Partitions[id]
+	if p.Leader == brokerID || !p.InISR(brokerID) {
+		return *p, nil
+	}
+	isr := p.ISR[:0]
+	for _, r := range p.ISR {
+		if r != brokerID {
+			isr = append(isr, r)
+		}
+	}
+	p.ISR = isr
+	if _, err := c.reg.Set(topicPath(topic), meta.marshal()); err != nil {
+		return *p, err
+	}
+	c.bumpEpoch()
+	return *p, nil
 }

@@ -69,6 +69,12 @@ type PartitionMeta struct {
 	ID    int    `json:"id"`
 	// Leader is the broker id serving produce/fetch for the partition.
 	Leader int `json:"leader"`
+	// LeaderEpoch counts leader elections for the partition, starting at
+	// 0 with the initial assignment and bumped on every leader change
+	// (including to leaderless). Replication fetches carry it so a
+	// deposed leader rejects stale followers and a fenced follower
+	// truncates to the new leader's log before re-fetching.
+	LeaderEpoch int64 `json:"leader_epoch"`
 	// Replicas is the full replica set (leader included).
 	Replicas []int `json:"replicas"`
 	// ISR is the in-sync subset of Replicas.
@@ -131,4 +137,8 @@ type BrokerInfo struct {
 	// model (kafka.m5.large = 2 vCPU / 8 GB, m5.xlarge = 4 / 16).
 	VCPUs int `json:"vcpus"`
 	MemGB int `json:"mem_gb"`
+	// DataDir, when set, backs the broker's replica logs with segment
+	// files under this directory, so a crashed broker replays them on
+	// restart instead of losing its partitions.
+	DataDir string `json:"data_dir,omitempty"`
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/broker"
+	"repro/internal/replication"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,14 @@ type Options struct {
 	// emulated WAN link (testbed.DelayProxy) in front of every broker
 	// while the listeners stay on loopback.
 	Advertise func(brokerID int, bound string) (string, error)
+	// Replication attaches the inter-broker replication subsystem: a
+	// fabric-wide tracker (ISR membership, high watermarks, acks=all
+	// gating) plus one manager per broker whose fetch loops pull from
+	// partition leaders over wire-v2 OpReplicaFetch. Without it the
+	// fabric keeps its single-process synchronous replication.
+	Replication bool
+	// ReplicationConfig tunes the subsystem (zero value = defaults).
+	ReplicationConfig replication.Config
 }
 
 // Cluster is a set of per-broker wire servers over one fabric.
@@ -61,7 +70,17 @@ type Cluster struct {
 	// servers to retired under one lock, so no counter is ever
 	// momentarily in neither.
 	retired []*wire.Server
+
+	// Replication subsystem state (Options.Replication).
+	replicated bool
+	tracker    *replication.Tracker
+	managers   map[int]*replication.Manager
+	mclients   map[int]*wire.Client
 }
+
+// Tracker returns the attached replication tracker, nil when the
+// cluster serves without Options.Replication.
+func (c *Cluster) Tracker() *replication.Tracker { return c.tracker }
 
 // Serve starts one scoped wire server per broker node of the fabric
 // and publishes each bound address as the broker's advertised address.
@@ -72,6 +91,13 @@ func Serve(f *broker.Fabric, opts Options) (*Cluster, error) {
 		servers:    make(map[int]*wire.Server),
 		bound:      make(map[int]string),
 		advertised: make(map[int]string),
+		managers:   make(map[int]*replication.Manager),
+		mclients:   make(map[int]*wire.Client),
+	}
+	if opts.Replication {
+		c.replicated = true
+		c.tracker = replication.NewTracker(f, opts.ReplicationConfig)
+		f.SetReplicator(c.tracker)
 	}
 	for _, id := range f.NodeIDs() {
 		addr := opts.Addrs[id]
@@ -81,6 +107,17 @@ func Serve(f *broker.Fabric, opts Options) (*Cluster, error) {
 		if err := c.startBroker(id, addr); err != nil {
 			c.Close()
 			return nil, err
+		}
+	}
+	if c.replicated {
+		// Managers start after every listener is up: a fetch loop's
+		// first metadata round trip must already see each leader's
+		// advertised address.
+		for _, id := range f.NodeIDs() {
+			if err := c.startManager(id); err != nil {
+				c.Close()
+				return nil, err
+			}
 		}
 	}
 	return c, nil
@@ -175,6 +212,7 @@ func (c *Cluster) StopBroker(id int) error {
 	if srv != nil {
 		srv.Close()
 	}
+	c.stopManager(id, false)
 	return nil
 }
 
@@ -225,6 +263,9 @@ func (c *Cluster) RestartBroker(id int) error {
 	c.mu.Lock()
 	c.servers[id] = srv
 	c.mu.Unlock()
+	if c.replicated {
+		return c.startManager(id)
+	}
 	return nil
 }
 
@@ -232,6 +273,15 @@ func (c *Cluster) RestartBroker(id int) error {
 // (closed servers retire, not vanish), so a post-Close Misroutes probe
 // still reports the full run.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	ids := make([]int, 0, len(c.managers))
+	for id := range c.managers {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.stopManager(id, false)
+	}
 	c.mu.Lock()
 	servers := c.servers
 	c.servers = make(map[int]*wire.Server)
@@ -241,5 +291,8 @@ func (c *Cluster) Close() {
 	c.mu.Unlock()
 	for _, srv := range servers {
 		srv.Close()
+	}
+	if c.replicated {
+		c.Fabric.SetReplicator(nil)
 	}
 }

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/auth"
@@ -42,6 +43,11 @@ type Config struct {
 	MemGB int
 	// Clock supplies time (default real).
 	Clock vclock.Clock
+	// DataDir, when set, backs every broker's replica logs with durable
+	// segment files under <DataDir>/broker-<id> — appends hit disk and
+	// a restarted process replays them (truncating any torn tail).
+	// Empty keeps the logs in memory.
+	DataDir string
 }
 
 func (c *Config) fill() {
@@ -72,8 +78,14 @@ type Octopus struct {
 func Launch(cfg Config) (*Octopus, error) {
 	cfg.fill()
 	f := broker.NewFabric(cfg.Clock)
-	if err := f.AddBrokers(cfg.Brokers, cfg.VCPUs, cfg.MemGB); err != nil {
-		return nil, err
+	for i := 0; i < cfg.Brokers; i++ {
+		info := cluster.BrokerInfo{ID: i, VCPUs: cfg.VCPUs, MemGB: cfg.MemGB}
+		if cfg.DataDir != "" {
+			info.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("broker-%d", i))
+		}
+		if _, err := f.AddBroker(info); err != nil {
+			return nil, err
+		}
 	}
 	tr := trigger.NewRuntime(f)
 	return &Octopus{

@@ -2,12 +2,29 @@
 // partition: an append-only, offset-addressed, segmented commit log with
 // time-indexed lookup, retention enforcement and key compaction. It is
 // the moral equivalent of Kafka's log layer (§IV-A of the paper), built
-// from scratch on Go slices with optional file-backed persistence.
+// from scratch on Go slices, with optional file-backed persistence.
+//
+// Persistence (Config.Dir) maps each in-memory segment to one file,
+// <dir>/<baseOffset, 20 decimal digits>.seg, holding framed records:
+//
+//	u32 crc32(IEEE, over body) | u32 bodyLen | body
+//	body = u64 offset | event.Marshal (key, value, timestamp, headers)
+//
+// Appends are encoded into a pending buffer and written with one write
+// per Append/AppendBatch call (fsync only when Config.Fsync is set), so
+// a batch is the durability unit. Open replays the segment files to
+// rebuild the index: records stream back in base-offset order, and the
+// first frame that fails its crc or length check — the torn tail of a
+// crash — truncates that file at the last intact boundary and deletes
+// any later files, keeping the recovered offset space contiguous.
+// Retention deletes whole segment files; compaction and Truncate
+// rewrite the affected file via temp file + rename.
 package eventlog
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +57,15 @@ type Config struct {
 	// Compact enables key compaction: on Compact(), only the latest
 	// record per key in sealed segments is retained.
 	Compact bool
+	// Dir enables file-backed persistence: appends are framed into
+	// per-segment files under this directory and Open replays them.
+	// Empty means in-memory only.
+	Dir string
+	// Fsync forces an fsync after every persisted append batch. Off by
+	// default: the durability unit is then the OS page cache, which
+	// survives process crashes (the failure mode replication recovery
+	// exercises) but not host power loss.
+	Fsync bool
 }
 
 // DefaultConfig returns the paper's defaults (7-day retention).
@@ -125,23 +151,38 @@ type Log struct {
 	// regression tests use to prove an idle consumer performs no log
 	// reads between appends.
 	reads atomic.Int64
+	// File-backed persistence state ("" / nil for in-memory logs):
+	// the backing directory, the active segment's append handle, and
+	// the pending encoded frames flushed once per append batch.
+	dir        string
+	activeFile *os.File
+	wbuf       []byte
 }
 
-// New creates an empty log with the given configuration.
+// New creates an empty log with the given configuration. With cfg.Dir
+// set it opens (and replays) the backing directory, panicking on I/O
+// errors — callers that want to handle those use Open directly.
 func New(cfg Config) *Log {
-	cfg.fill()
-	l := &Log{cfg: cfg}
-	l.segments = []*segment{{}}
+	l, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return l
 }
 
 // appendLocked stores one event on the active segment, rolling first if
-// the active segment is full. Callers hold l.mu.
-func (l *Log) appendLocked(ev event.Event, now time.Time) {
+// the active segment is full. Callers hold l.mu. The returned error is
+// only ever non-nil for file-backed logs (segment roll I/O).
+func (l *Log) appendLocked(ev event.Event, now time.Time) error {
 	active := l.segments[len(l.segments)-1]
 	if active.bytes >= l.cfg.SegmentBytes || len(active.records) >= l.cfg.SegmentEvents {
 		active.end = l.next
 		active.sealed = true
+		if err := l.persistRollLocked(l.next); err != nil {
+			active.sealed = false
+			active.end = 0
+			return err
+		}
 		active = &segment{baseOffset: l.next, created: now}
 		l.segments = append(l.segments, active)
 	}
@@ -156,6 +197,10 @@ func (l *Log) appendLocked(ev event.Event, now time.Time) {
 	active.lastAppend = now
 	l.bytes += int64(sz)
 	l.next++
+	if l.dir != "" {
+		l.wbuf = appendRecordFrame(l.wbuf, ev.Offset, &ev)
+	}
+	return nil
 }
 
 // Append assigns the next offset and stores the event, stamping it with
@@ -167,15 +212,23 @@ func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 		return 0, ErrClosed
 	}
 	off := l.next
-	l.appendLocked(ev, now)
+	err := l.appendLocked(ev, now)
+	if err == nil {
+		err = l.flushLocked()
+	}
 	fired := l.notifyLocked()
 	l.mu.Unlock()
 	runNotifies(fired)
+	if err != nil {
+		return 0, err
+	}
 	return off, nil
 }
 
 // AppendBatch appends events in order, returning the first assigned
-// offset. A batch is appended atomically with respect to readers.
+// offset. A batch is appended atomically with respect to readers, and
+// for file-backed logs it is also the durability unit: one write (and
+// optional fsync) covers the whole batch.
 func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 	l.mu.Lock()
 	if l.closed {
@@ -183,8 +236,14 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 		return 0, ErrClosed
 	}
 	first := l.next
+	var err error
 	for i := range evs {
-		l.appendLocked(evs[i], now)
+		if err = l.appendLocked(evs[i], now); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = l.flushLocked()
 	}
 	var fired []func()
 	if len(evs) > 0 {
@@ -192,7 +251,85 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 	}
 	l.mu.Unlock()
 	runNotifies(fired)
+	if err != nil {
+		return 0, err
+	}
 	return first, nil
+}
+
+// AppendReplicated appends a batch fetched from the partition leader,
+// preserving the leader-assigned offsets and timestamps instead of
+// assigning fresh ones — the follower side of replication, which must
+// produce a byte-identical offset space or a promoted follower would
+// re-serve acked offsets with different events. Records at offsets the
+// log already holds are skipped (re-fetch overlap after a truncate),
+// and a gap — the leader compacted or retention-deleted records
+// between the follower's position and the batch — seals the active
+// segment at the current end and rolls a fresh one at the gap's far
+// side, preserving the active-segment density invariant. Like
+// AppendBatch, the whole call is one durability unit.
+func (l *Log) AppendReplicated(evs []event.Event) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	var err error
+	appended := false
+	for i := range evs {
+		ev := evs[i]
+		if ev.Offset < l.next {
+			continue
+		}
+		if ev.Offset > l.next {
+			if err = l.rollToLocked(ev.Offset); err != nil {
+				break
+			}
+		}
+		if err = l.appendLocked(ev, ev.Timestamp); err != nil {
+			break
+		}
+		appended = true
+	}
+	if err == nil {
+		err = l.flushLocked()
+	}
+	var fired []func()
+	if appended {
+		fired = l.notifyLocked()
+	}
+	l.mu.Unlock()
+	runNotifies(fired)
+	return err
+}
+
+// rollToLocked seals the active segment at the current end and starts
+// a fresh one at base (> l.next), so replicated records landing past a
+// leader-side hole never break the active segment's density.
+func (l *Log) rollToLocked(base int64) error {
+	active := l.segments[len(l.segments)-1]
+	active.end = l.next
+	active.sealed = true
+	if err := l.persistRollLocked(base); err != nil {
+		active.sealed = false
+		active.end = 0
+		return err
+	}
+	l.segments = append(l.segments, &segment{baseOffset: base, created: l.lastNow()})
+	l.next = base
+	return nil
+}
+
+// lastNow approximates "now" for bookkeeping timestamps on replica
+// rolls from the newest record the log holds; replicated records carry
+// their own leader-stamped timestamps, so this never reaches a reader.
+func (l *Log) lastNow() time.Time {
+	for i := len(l.segments) - 1; i >= 0; i-- {
+		if rs := l.segments[i].records; len(rs) > 0 {
+			return rs[len(rs)-1].ev.Timestamp
+		}
+	}
+	return time.Time{}
 }
 
 // notifyLocked wakes every tail waiter and collects the registered
@@ -530,6 +667,7 @@ func (l *Log) EnforceRetention(now time.Time) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	deleted := 0
+	var dropped []*segment
 	for len(l.segments) > 1 {
 		seg := l.segments[0]
 		expired := l.cfg.Retention > 0 && !seg.lastAppend.IsZero() && now.Sub(seg.lastAppend) > l.cfg.Retention
@@ -540,8 +678,10 @@ func (l *Log) EnforceRetention(now time.Time) int {
 		deleted += len(seg.records)
 		l.bytes -= int64(seg.bytes)
 		l.start = seg.nextOffset()
+		dropped = append(dropped, seg)
 		l.segments = l.segments[1:]
 	}
+	l.removeSegmentFiles(dropped)
 	return deleted
 }
 
@@ -568,6 +708,7 @@ func (l *Log) Compact() int {
 		if !seg.sealed {
 			continue
 		}
+		before := len(seg.records)
 		kept := seg.records[:0]
 		for _, r := range seg.records {
 			if r.ev.Key != nil && latest[string(r.ev.Key)] != r.offset {
@@ -579,6 +720,11 @@ func (l *Log) Compact() int {
 			kept = append(kept, r)
 		}
 		seg.records = kept
+		if len(seg.records) != before {
+			// Persist the hole-punched segment so replay does not
+			// resurrect superseded records.
+			l.rewriteSegmentLocked(seg)
+		}
 	}
 	return removed
 }
@@ -590,6 +736,13 @@ func (l *Log) Compact() int {
 func (l *Log) Close() {
 	l.mu.Lock()
 	l.closed = true
+	if l.dir != "" {
+		l.flushLocked()
+		if l.activeFile != nil {
+			l.activeFile.Close()
+			l.activeFile = nil
+		}
+	}
 	fired := l.notifyLocked()
 	l.mu.Unlock()
 	runNotifies(fired)

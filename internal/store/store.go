@@ -233,6 +233,67 @@ func (a *Archive) RestoreTopic(f *broker.Fabric, topic string, cfg cluster.Topic
 	return restored, nil
 }
 
+// ReadTier implements broker.TieredReader: serve a fetch whose offset
+// fell below the broker's local log start from the archived segment
+// objects — the tiered-read half of the paper's cloud-persistence
+// path. Only the segment objects covering the requested range are read
+// and checksummed; the budget follows Log.ReadBudgetInto semantics (at
+// least one event when any is available, maxBytes <= 0 = unlimited).
+func (a *Archive) ReadTier(topic string, partition int, offset int64, maxEvents, maxBytes int, dst []event.Event) ([]event.Event, error) {
+	dir := a.partDir(topic, partition)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded first offsets sort correctly
+	out := dst[:0]
+	budget := maxBytes
+	for _, name := range names {
+		parts := strings.SplitN(strings.TrimSuffix(name, ".seg"), "-", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		last, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || last < offset {
+			continue // segment entirely below the requested range
+		}
+		obj, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		evs, err := decodeObject(obj)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+		}
+		for i := range evs {
+			if evs[i].Offset < offset {
+				continue
+			}
+			sz := len(evs[i].Key) + len(evs[i].Value)
+			if len(out) > 0 && (len(out) >= maxEvents || (maxBytes > 0 && sz > budget)) {
+				return out, nil
+			}
+			budget -= sz
+			evs[i].Topic = topic
+			evs[i].Partition = partition
+			out = append(out, evs[i])
+		}
+		if len(out) >= maxEvents {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
 func encodeObject(evs []event.Event) []byte {
 	var body []byte
 	for i := range evs {

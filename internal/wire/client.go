@@ -68,6 +68,11 @@ type Options struct {
 	// after a misrouted request, the pre-push behavior. Used by interop
 	// and failover tests.
 	DisableMetaPush bool
+	// DisableReplication masks FeatReplication out of negotiation: the
+	// client never issues replica fetches or acks. Used by interop tests
+	// to prove a mixed-version cluster degrades to single-replica
+	// operation instead of wedging.
+	DisableReplication bool
 }
 
 // features is the feature set this client offers in negotiation.
@@ -84,6 +89,9 @@ func (o *Options) features() uint32 {
 	}
 	if o.DisableMetaPush {
 		feats &^= FeatMetaPush
+	}
+	if o.DisableReplication {
+		feats &^= FeatReplication
 	}
 	return feats
 }

@@ -31,6 +31,7 @@ type suiteFeatures struct {
 	serverNoMeta, clientNoMeta       bool
 	serverNoSession, clientNoSession bool
 	serverNoPush, clientNoPush       bool
+	serverNoRepl, clientNoRepl       bool
 }
 
 // runWireSuiteStreaming is runWireSuite with streaming fetch optionally
@@ -60,6 +61,7 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	s.DisableClusterMeta = sf.serverNoMeta
 	s.DisableSessionFetch = sf.serverNoSession
 	s.DisableMetaPush = sf.serverNoPush
+	s.DisableReplication = sf.serverNoRepl
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +72,7 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 		Anonymous: true, MaxVersion: clientMax, PoolSize: 2,
 		DisableStreaming: sf.clientNoStream, DisableClusterMeta: sf.clientNoMeta,
 		DisableSessionFetch: sf.clientNoSession, DisableMetaPush: sf.clientNoPush,
+		DisableReplication: sf.clientNoRepl,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +96,22 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	wantPush := wantVersion >= ProtocolV2 && !sf.serverNoPush && !sf.clientNoPush
 	if gotPush := c.Features()&FeatMetaPush != 0; gotPush != wantPush {
 		t.Fatalf("metadata push negotiated = %v, want %v", gotPush, wantPush)
+	}
+	wantRepl := wantVersion >= ProtocolV2 && !sf.serverNoRepl && !sf.clientNoRepl
+	if gotRepl := c.Features()&FeatReplication != 0; gotRepl != wantRepl {
+		t.Fatalf("replication negotiated = %v, want %v", gotRepl, wantRepl)
+	}
+	if wantVersion >= ProtocolV2 && !wantRepl {
+		// The fallback contract: without the feature, replication ops
+		// are refused as unknown — a clean error, never a hang or a
+		// batch served to an un-negotiated peer.
+		var rb broker.FetchBuffer
+		if _, err := c.ReplicaFetch(1, "ip", 0, 0, 0, 10, 1<<20, 0, &rb); err == nil {
+			t.Fatal("ReplicaFetch succeeded without FeatReplication")
+		}
+		if err := c.ReplicaAck(1, "ip", 0, 0, 0); err == nil {
+			t.Fatal("ReplicaAck succeeded without FeatReplication")
+		}
 	}
 	if !wantMeta {
 		// The fallback contract: without the feature, OpMetadata is an
@@ -281,4 +300,19 @@ func TestInteropMetaPushOffServerSide(t *testing.T) {
 // never receives pushed metadata and falls back to reactive re-fetch.
 func TestInteropMetaPushOffClientSide(t *testing.T) {
 	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoPush: true})
+}
+
+// TestInteropReplicationOffServerSide: a server that predates
+// inter-broker replication refuses OpReplicaFetch/OpReplicaAck as
+// unknown ops while the whole data-plane suite passes unchanged — the
+// single-replica behavior every pre-replication pairing had.
+func TestInteropReplicationOffServerSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{serverNoRepl: true})
+}
+
+// TestInteropReplicationOffClientSide: a client (broker peer) that
+// masks FeatReplication gets its replication ops refused by a capable
+// server, and everything else serves identically.
+func TestInteropReplicationOffClientSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoRepl: true})
 }

@@ -90,6 +90,44 @@ type TopicLeadership struct {
 	Partitions []PartitionLeadership
 }
 
+// ReplicaProgress is one follower's acked log end offset in the
+// replication section.
+type ReplicaProgress struct {
+	Broker int
+	LogEnd int64
+}
+
+// PartitionReplication is one tracked partition's replication state:
+// the fencing epoch, the committed frontier, and how far each follower
+// has acked behind the leader's log end.
+type PartitionReplication struct {
+	// ID is the partition id (the section lists only partitions the
+	// replication subsystem tracks, so ids are explicit, not dense).
+	ID            int
+	LeaderEpoch   int64
+	HighWatermark int64
+	// LogEnd is the leader's log end offset; LogEnd - HighWatermark is
+	// the uncommitted window, LogEnd - Followers[i].LogEnd a follower's
+	// replication lag.
+	LogEnd    int64
+	Followers []ReplicaProgress
+}
+
+// TopicReplication is one topic's tracked partitions.
+type TopicReplication struct {
+	Name       string
+	Partitions []PartitionReplication
+}
+
+// MetadataReplication is the trailing replication section of a
+// metadata document — per-partition epochs, high watermarks, and
+// follower progress. Nil on servers without the replication subsystem
+// (and on documents from peers that predate the section, which simply
+// end after the topics).
+type MetadataReplication struct {
+	Topics []TopicReplication
+}
+
 // MetadataResp is the cluster metadata document.
 type MetadataResp struct {
 	// Epoch is the controller metadata epoch the document was built at.
@@ -98,6 +136,11 @@ type MetadataResp struct {
 	Epoch   int64
 	Brokers []BrokerMeta
 	Topics  []TopicLeadership
+	// Replication is the trailing replication section, appended after
+	// the topics so peers that predate it decode the document
+	// unchanged; nil when the serving fabric has no replication
+	// subsystem attached.
+	Replication *MetadataReplication
 }
 
 func appendIntSlice(buf []byte, vs []int) []byte {
@@ -147,6 +190,27 @@ func (m *MetadataResp) AppendBody(buf []byte) []byte {
 			buf = appendInt(buf, int64(p.Leader))
 			buf = appendIntSlice(buf, p.Replicas)
 			buf = appendIntSlice(buf, p.ISR)
+		}
+	}
+	// The replication section rides after everything the original body
+	// carried: decoders that predate it stop at the topics, decoders
+	// that know it find it only when the encoder had one.
+	if m.Replication != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(m.Replication.Topics)))
+		for _, t := range m.Replication.Topics {
+			buf = appendStr(buf, t.Name)
+			buf = binary.AppendUvarint(buf, uint64(len(t.Partitions)))
+			for _, p := range t.Partitions {
+				buf = appendInt(buf, int64(p.ID))
+				buf = appendInt(buf, p.LeaderEpoch)
+				buf = appendInt(buf, p.HighWatermark)
+				buf = appendInt(buf, p.LogEnd)
+				buf = binary.AppendUvarint(buf, uint64(len(p.Followers)))
+				for _, fo := range p.Followers {
+					buf = appendInt(buf, int64(fo.Broker))
+					buf = appendInt(buf, fo.LogEnd)
+				}
+			}
 		}
 	}
 	return buf
@@ -220,6 +284,71 @@ func (m *MetadataResp) DecodeBody(b []byte) error {
 		}
 		m.Topics = append(m.Topics, t)
 	}
+	m.Replication = nil
+	if len(b) == 0 {
+		// A document from a peer that predates the replication section.
+		return nil
+	}
+	nr, b, err := getUint(b)
+	if err != nil || nr > uint64(len(b)) {
+		return errShortMsg
+	}
+	m.Replication = &MetadataReplication{}
+	if nr > 0 {
+		m.Replication.Topics = make([]TopicReplication, 0, nr)
+	}
+	for i := uint64(0); i < nr; i++ {
+		var t TopicReplication
+		if t.Name, b, err = getStr(b); err != nil {
+			return err
+		}
+		np, rest, err := getUint(b)
+		if err != nil || np > uint64(len(rest)) {
+			return errShortMsg
+		}
+		b = rest
+		if np > 0 {
+			t.Partitions = make([]PartitionReplication, 0, np)
+		}
+		for j := uint64(0); j < np; j++ {
+			var p PartitionReplication
+			var v int64
+			if v, b, err = getInt(b); err != nil {
+				return err
+			}
+			p.ID = int(v)
+			if p.LeaderEpoch, b, err = getInt(b); err != nil {
+				return err
+			}
+			if p.HighWatermark, b, err = getInt(b); err != nil {
+				return err
+			}
+			if p.LogEnd, b, err = getInt(b); err != nil {
+				return err
+			}
+			nf, rest, err := getUint(b)
+			if err != nil || nf > uint64(len(rest)) {
+				return errShortMsg
+			}
+			b = rest
+			if nf > 0 {
+				p.Followers = make([]ReplicaProgress, 0, nf)
+			}
+			for k := uint64(0); k < nf; k++ {
+				var fo ReplicaProgress
+				if v, b, err = getInt(b); err != nil {
+					return err
+				}
+				fo.Broker = int(v)
+				if fo.LogEnd, b, err = getInt(b); err != nil {
+					return err
+				}
+				p.Followers = append(p.Followers, fo)
+			}
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Replication.Topics = append(m.Replication.Topics, t)
+	}
 	return nil
 }
 
@@ -247,6 +376,34 @@ func buildMetadataResp(f *broker.Fabric, topics []string) *MetadataResp {
 			})
 		}
 		resp.Topics = append(resp.Topics, t)
+	}
+	if r := f.Replicator(); r != nil {
+		repl := &MetadataReplication{}
+		for _, tm := range snap.Topics {
+			t := TopicReplication{Name: tm.Name}
+			for i := range tm.Partitions {
+				st, ok := r.Status(broker.TP{Topic: tm.Name, Partition: tm.Partitions[i].ID})
+				if !ok {
+					// Untracked: no acks=all produce or replica fetch has
+					// touched the partition yet.
+					continue
+				}
+				p := PartitionReplication{
+					ID:            tm.Partitions[i].ID,
+					LeaderEpoch:   st.LeaderEpoch,
+					HighWatermark: st.HighWatermark,
+					LogEnd:        st.LogEnd,
+				}
+				for _, fo := range st.Followers {
+					p.Followers = append(p.Followers, ReplicaProgress{Broker: fo.Broker, LogEnd: fo.LogEnd})
+				}
+				t.Partitions = append(t.Partitions, p)
+			}
+			if len(t.Partitions) > 0 {
+				repl.Topics = append(repl.Topics, t)
+			}
+		}
+		resp.Replication = repl
 	}
 	return resp
 }

@@ -85,6 +85,13 @@ const (
 	OpSessionSub    Op = "session_sub"
 	OpSessionCredit Op = "session_credit"
 	OpSessionClose  Op = "session_close"
+	// Inter-broker replication ops (v2-only; FeatReplication). The v1
+	// spellings exist purely so a replication message converted to v1
+	// framing is rejected as an unknown op by legacy servers — the clean
+	// fallback that lets a mixed-version cluster degrade to
+	// single-replica operation instead of wedging.
+	OpReplicaFetch Op = "replica_fetch"
+	OpReplicaAck   Op = "replica_ack"
 )
 
 // MaxFrame bounds a frame's payload to keep a misbehaving peer from

@@ -85,9 +85,16 @@ const (
 	// before a request fails. Either side may mask it out; the client
 	// then falls back to reactive metadata re-fetch (FeatClusterMeta).
 	FeatMetaPush uint32 = 1 << 5
+	// FeatReplication: the server accepts inter-broker replication ops
+	// (OpReplicaFetch/OpReplicaAck): followers pull batches from the
+	// partition leader at their local end offset, fenced by the leader
+	// epoch. Masked (old peers, or DisableReplication), brokers fall
+	// back to single-replica operation — produce acks gate only on the
+	// leader, exactly the pre-replication behavior.
+	FeatReplication uint32 = 1 << 6
 
 	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch |
-		FeatClusterMeta | FeatSessionFetch | FeatMetaPush
+		FeatClusterMeta | FeatSessionFetch | FeatMetaPush | FeatReplication
 )
 
 // v2 operation bytes, one per message pair.
@@ -129,6 +136,11 @@ const (
 	// v2OpMetadataPush is a server-pushed cluster metadata document
 	// (FeatMetaPush), frame-compatible with an OpMetadata response body.
 	v2OpMetadataPush
+	// Inter-broker replication ops (FeatReplication): a follower pulls
+	// a batch from the leader's log at its own end offset, and acks its
+	// new end offset after appending, both fenced by the leader epoch.
+	v2OpReplicaFetch
+	v2OpReplicaAck
 
 	// v2OpMax is one past the highest assigned op byte (pool sizing).
 	v2OpMax
@@ -323,6 +335,17 @@ var (
 	// ErrNotLeader reports a data-plane op against a partition whose
 	// leader is unavailable.
 	ErrNotLeader = broker.ErrLeaderUnavailable
+	// ErrNoLeader reports a partition with no leader at all (every ISR
+	// member is down). Unlike ErrNotLeader it is not rerouteable — no
+	// metadata refresh can find a broker to serve it — so the router
+	// retries with bounded backoff, waiting out a re-election, instead
+	// of failing over. It wraps ErrNotLeader, so coarse checks keep
+	// matching.
+	ErrNoLeader = broker.ErrNoLeader
+	// ErrFencedEpoch reports a replication op carrying a stale leader
+	// epoch: the follower must refetch metadata, truncate to the new
+	// leader's log and retry.
+	ErrFencedEpoch = broker.ErrFencedEpoch
 )
 
 // v2 error codes. codeOK marks a success response; every other value
@@ -341,6 +364,8 @@ const (
 	codeUnknownMember
 	codeBrokerDown
 	codeUnknownOp
+	codeNoLeader
+	codeFencedEpoch
 )
 
 // errTable is the single source of truth mapping domain sentinels to
@@ -351,6 +376,10 @@ var errTable = []struct {
 	kind     string
 	sentinel error
 }{
+	// ErrNoLeader wraps ErrLeaderUnavailable, so its entry must come
+	// first or the coarser sentinel would claim every no-leader error.
+	{codeNoLeader, "no_leader", broker.ErrNoLeader},
+	{codeFencedEpoch, "fenced_epoch", broker.ErrFencedEpoch},
 	{codeLeaderUnavailable, "leader_unavailable", broker.ErrLeaderUnavailable},
 	{codeNotEnoughReplicas, "not_enough_replicas", broker.ErrNotEnoughReplicas},
 	{codeStaleGeneration, "stale_generation", broker.ErrStaleGeneration},
@@ -442,6 +471,10 @@ func newReqMsg(op uint8) ReqMsg {
 		return &SessionCreditReq{}
 	case v2OpSessionClose:
 		return &SessionCloseReq{}
+	case v2OpReplicaFetch:
+		return &ReplicaFetchReq{}
+	case v2OpReplicaAck:
+		return &ReplicaAckReq{}
 	}
 	return nil
 }
@@ -507,6 +540,10 @@ func newRespMsg(op uint8) respMsg {
 		return &FetchResp{}
 	case v2OpMetadataPush:
 		return &MetadataResp{}
+	case v2OpReplicaFetch:
+		return &ReplicaFetchResp{}
+	case v2OpReplicaAck:
+		return &EmptyResp{}
 	}
 	return nil
 }

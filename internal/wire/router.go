@@ -31,6 +31,7 @@ package wire
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/broker"
 )
@@ -315,6 +316,13 @@ func rerouteable(err error) bool {
 	if err == nil || errors.Is(err, ErrConnClosed) {
 		return false
 	}
+	if errors.Is(err, ErrNoLeader) {
+		// No ISR member survives: there is no better broker to route to,
+		// so failing over is pointless. dataCall instead waits out a
+		// re-election with bounded backoff. Checked before ErrNotLeader,
+		// which it wraps.
+		return false
+	}
 	if errors.Is(err, ErrNotLeader) || errors.Is(err, broker.ErrNoPartition) {
 		return true
 	}
@@ -329,10 +337,39 @@ func rerouteable(err error) bool {
 	return true // dial failure, broken connection, I/O timeout
 }
 
+// No-leader backoff: a partition whose entire ISR is down has no
+// server to route to, but leader elections are fast — the controller
+// re-elects the moment a surviving replica rejoins. The router waits
+// one out with a short bounded backoff instead of failing the first
+// call, and gives up (returning ErrNoLeader) when none happens.
+const (
+	noLeaderRetries = 4
+	noLeaderBackoff = 25 * time.Millisecond
+)
+
 // dataCall submits a partition-routed request through the router:
 // resolve the leader address, call, and on a routing failure re-fetch
-// metadata and retry once against the freshly resolved leader.
+// metadata and retry once against the freshly resolved leader. A
+// leaderless partition (ErrNoLeader) is instead retried in place with
+// bounded backoff, waiting out a re-election.
 func (c *Client) dataCall(topic string, partition int, req ReqMsg, resp respMsg, payload, arena []byte) (*call, error) {
+	cl, err := c.dataCallOnce(topic, partition, req, resp, payload, arena)
+	backoff := noLeaderBackoff
+	for attempt := 0; attempt < noLeaderRetries && errors.Is(err, ErrNoLeader); attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		if c.RouterEnabled() {
+			_ = c.refreshMetadata()
+		}
+		if cl != nil && cl.arena != nil {
+			arena = cl.arena
+		}
+		cl, err = c.dataCallOnce(topic, partition, req, resp, payload, arena)
+	}
+	return cl, err
+}
+
+func (c *Client) dataCallOnce(topic string, partition int, req ReqMsg, resp respMsg, payload, arena []byte) (*call, error) {
 	cl, err := c.callAt(c.dataAddr(topic, partition), c.slotFor(topic, partition), req, resp, payload, arena)
 	if err == nil || !c.RouterEnabled() || !rerouteable(err) {
 		return cl, err

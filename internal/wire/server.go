@@ -69,6 +69,12 @@ type Server struct {
 	// server that predates pushed metadata: clients fall back to
 	// reactive re-fetch after a misrouted request.
 	DisableMetaPush bool
+	// DisableReplication masks FeatReplication out of negotiation,
+	// emulating a v2 server that predates inter-broker replication:
+	// replica fetches are refused as unknown ops, followers never catch
+	// up, and the cluster degrades to single-replica operation (the ISR
+	// shrinks to the leader).
+	DisableReplication bool
 	// LocalBroker scopes this server to one broker of the fabric:
 	// produce, fetch and stream-open requests for partitions that
 	// broker does not lead are refused with ErrNotLeader (and counted
@@ -211,6 +217,9 @@ func (s *Server) featureMask() uint32 {
 	}
 	if s.DisableMetaPush {
 		feats &^= FeatMetaPush
+	}
+	if s.DisableReplication {
+		feats &^= FeatReplication
 	}
 	return feats
 }
@@ -611,6 +620,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				sessions.closeSession(q.SessionID)
 				putReqMsg(op, m)
 				continue
+			case *ReplicaFetchReq, *ReplicaAckReq:
+				// Feature-gated like metadata, but the fetch long-polls
+				// and carries events, so a negotiated request falls
+				// through to the async dispatch below.
+				if features&FeatReplication == 0 {
+					putReqMsg(op, m)
+					if w.writeV2(op, corr, nil, fmt.Errorf("%w %d: replication not negotiated", errUnknownOp, op), nil) != nil {
+						return
+					}
+					continue
+				}
 			}
 			sem <- struct{}{}
 			handlers.Add(1)
@@ -880,6 +900,38 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 	case *CommittedReq:
 		off := s.Fabric.Groups.Committed(q.Group, q.Topic, q.Partition)
 		return &OffsetResp{Offset: off}, nil, nil
+	case *ReplicaFetchReq:
+		// leaderCheck doubles as coarse fencing: a follower pulling from
+		// a deposed leader's server is told to re-route before the
+		// epoch check even runs.
+		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
+			return nil, nil, err
+		}
+		wait := time.Duration(q.WaitMaxMS) * time.Millisecond
+		if wait > MaxFetchWait {
+			wait = MaxFetchWait
+		}
+		res, err := s.Fabric.ReplicaFetch(q.Follower, q.Topic, q.Partition, q.LeaderEpoch, q.Offset, q.MaxEvents, q.MaxBytes, wait, stop, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp := &ReplicaFetchResp{
+			NumEvents:     len(res.Events),
+			LeaderEpoch:   res.LeaderEpoch,
+			HighWatermark: res.HighWatermark,
+			LogStart:      res.LogStart,
+			LogEnd:        res.LogEnd,
+		}
+		resp.SetOffsets(res.Events)
+		return resp, res.Events, nil
+	case *ReplicaAckReq:
+		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
+			return nil, nil, err
+		}
+		if err := s.Fabric.ReplicaAck(q.Follower, q.Topic, q.Partition, q.LeaderEpoch, q.LogEnd); err != nil {
+			return nil, nil, err
+		}
+		return &EmptyResp{}, nil, nil
 	}
 	return nil, nil, fmt.Errorf("%w %T", errUnknownOp, m)
 }

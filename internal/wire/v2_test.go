@@ -48,6 +48,8 @@ func fuzzReqSeeds() []ReqMsg {
 		&SessionSubReq{SessionID: 3, SubID: 12, Remove: true},
 		&SessionCreditReq{SessionID: 3, CreditBytes: 65536},
 		&SessionCloseReq{SessionID: 3},
+		&ReplicaFetchReq{Topic: "rt", Partition: 2, Follower: 1, LeaderEpoch: 9, Offset: 1 << 30, MaxEvents: 500, MaxBytes: 4 << 20, WaitMaxMS: 250},
+		&ReplicaAckReq{Topic: "rt", Partition: 2, Follower: 1, LeaderEpoch: 9, LogEnd: 1 << 30},
 	}
 }
 
@@ -112,6 +114,27 @@ func fuzzRespSeeds() []struct {
 				},
 			}},
 		}},
+		{v2OpMetadata, &MetadataResp{
+			Epoch:   43,
+			Brokers: []BrokerMeta{{ID: 0, Addr: "10.0.0.1:9092", Up: true}},
+			Topics: []TopicLeadership{{
+				Name:       "r",
+				Partitions: []PartitionLeadership{{Leader: 0, Replicas: []int{0, 1, 2}, ISR: []int{0, 1}}},
+			}},
+			Replication: &MetadataReplication{Topics: []TopicReplication{{
+				Name: "r",
+				Partitions: []PartitionReplication{{
+					ID: 0, LeaderEpoch: 3, HighWatermark: 90, LogEnd: 100,
+					Followers: []ReplicaProgress{{Broker: 1, LogEnd: 90}, {Broker: 2, LogEnd: 40}},
+				}},
+			}}},
+		}},
+		{v2OpReplicaFetch, func() Msg {
+			b := &ReplicaFetchResp{NumEvents: 4, LeaderEpoch: 9, HighWatermark: 62, LogStart: 8, LogEnd: 64}
+			b.SetOffsets([]event.Event{{Offset: 60}, {Offset: 61}, {Offset: 62}, {Offset: 63}})
+			return b
+		}()},
+		{v2OpReplicaAck, &EmptyResp{}},
 	}
 }
 
@@ -387,6 +410,12 @@ func FuzzDecodeStreamFrames(f *testing.F) {
 		Brokers: []BrokerMeta{{ID: 0, Addr: "b0:1", Up: true}},
 		Topics:  []TopicLeadership{{Name: "t", Partitions: []PartitionLeadership{{Leader: 0, Replicas: []int{0}, ISR: []int{0}}}}},
 	}))
+	f.Add(uint8(0), AppendRequestV2(nil, 11, &ReplicaFetchReq{Topic: "t", Partition: 1, Follower: 2, LeaderEpoch: 5, Offset: 40, MaxEvents: 500, MaxBytes: 1 << 20, WaitMaxMS: 100}))
+	f.Add(uint8(1), AppendRequestV2(nil, 12, &ReplicaAckReq{Topic: "t", Partition: 1, Follower: 2, LeaderEpoch: 5, LogEnd: 44}))
+	replicaBatch := &ReplicaFetchResp{NumEvents: 4, LeaderEpoch: 5, HighWatermark: 43, LogStart: 0, LogEnd: 44}
+	replicaBatch.SetOffsets([]event.Event{{Offset: 40}, {Offset: 41}, {Offset: 42}, {Offset: 43}})
+	f.Add(uint8(3), AppendResponseV2(nil, v2OpReplicaFetch, 11, replicaBatch))
+	f.Add(uint8(3), appendErrResponseV2(nil, v2OpReplicaFetch, 11, fmt.Errorf("%w: epoch 4 < 5", broker.ErrFencedEpoch)))
 	f.Fuzz(func(t *testing.T, kind uint8, b []byte) {
 		if kind%4 == 3 {
 			// Pushed frames: client-side prefix decode, then the body of
@@ -529,6 +558,21 @@ func FuzzDecodeMetadataV2(f *testing.F) {
 				Name:       "events",
 				Partitions: []PartitionLeadership{{Leader: 2, Replicas: []int{2, 0}, ISR: []int{2, 0}}},
 			}},
+		},
+		&MetadataResp{
+			Epoch:   8,
+			Brokers: []BrokerMeta{{ID: 2, Addr: "127.0.0.1:40000", Up: true}},
+			Topics: []TopicLeadership{{
+				Name:       "events",
+				Partitions: []PartitionLeadership{{Leader: 2, Replicas: []int{2, 0}, ISR: []int{2}}},
+			}},
+			Replication: &MetadataReplication{Topics: []TopicReplication{{
+				Name: "events",
+				Partitions: []PartitionReplication{{
+					ID: 0, LeaderEpoch: 2, HighWatermark: 50, LogEnd: 64,
+					Followers: []ReplicaProgress{{Broker: 0, LogEnd: 50}},
+				}},
+			}}},
 		},
 	} {
 		f.Add(m.AppendBody(nil))

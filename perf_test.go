@@ -10,6 +10,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/clusternet"
 	"repro/internal/event"
 	"repro/internal/testbed"
 	"repro/internal/wire"
@@ -480,6 +481,101 @@ func BenchmarkManyConnections(b *testing.B) {
 	b.ReportMetric(sess.AllocsPerEvent, "sess_allocs/event")
 	b.ReportMetric(stream.AllocsPerEvent, "stream_allocs/event")
 	b.ReportMetric(stream.GoroutinesPerConn/sess.GoroutinesPerConn, "goroutine_reduction_x")
+}
+
+// BenchmarkReplicatedProduce gates PR 8's tentpole cost: on a 3-broker
+// RF-3 clusternet fabric with every broker behind an emulated WAN link
+// (testbed.DelayProxy), an acks=all produce — which commits only after
+// the follower brokers replicate the batch over OpReplicaFetch and ack
+// — must cost at most 2.5x an acks=leader produce in the same run.
+// The budget is what the long-poll design predicts: followers park on
+// the leader's tail waiter, so a produce pays one client→leader round
+// trip plus roughly one follower link round trip (push to the parked
+// fetch, then the OpReplicaAck that advances the high watermark), not
+// a fetch-interval of idle waiting.
+func BenchmarkReplicatedProduce(b *testing.B) {
+	const oneWay = 2 * time.Millisecond
+	f := broker.NewFabric(nil)
+	if err := f.AddBrokers(3, 2, 8); err != nil {
+		b.Fatal(err)
+	}
+	f.MinInsyncReplicas = 2
+	var proxyStops []func()
+	cnet, err := clusternet.Serve(f, clusternet.Options{
+		AllowAnonymous: true,
+		Replication:    true,
+		Advertise: func(id int, bound string) (string, error) {
+			addr, stop, perr := testbed.DelayProxy(bound, oneWay)
+			if perr != nil {
+				return "", perr
+			}
+			proxyStops = append(proxyStops, stop)
+			return addr, nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cnet.Close()
+		for i := len(proxyStops) - 1; i >= 0; i-- {
+			proxyStops[i]()
+		}
+	})
+	if _, err := f.CreateTopic("rp", "", cluster.TopicConfig{Partitions: 1, ReplicationFactor: 3}); err != nil {
+		b.Fatal(err)
+	}
+	c, err := wire.DialOptions(cnet.Addr(0), wire.Options{Anonymous: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	batch := oneKBBatch(16)
+	// Warm both paths: routing cached, follower fetch loops caught up
+	// and parked on the leader's tail waiter.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Produce("", "rp", 0, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Produce("", "rp", 0, batch, broker.AcksAll); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const rounds = 25
+	measure := func(acks broker.Acks) time.Duration {
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := c.Produce("", "rp", 0, batch, acks); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start) / rounds
+	}
+	leaderLat := measure(broker.AcksLeader)
+	allLat := measure(broker.AcksAll)
+	if allLat > leaderLat*5/2 {
+		b.Fatalf("acks=all %v/produce > 2.5x acks=leader %v/produce over the same %v links",
+			allLat, leaderLat, oneWay)
+	}
+	st, ok := f.ReplicaStatusFor("rp", 0)
+	if !ok || st.HighWatermark != st.LogEnd {
+		b.Fatalf("high watermark %d lags leader log end %d after the acks=all run", st.HighWatermark, st.LogEnd)
+	}
+
+	// Timed loop: steady-state replicated acks=all produce.
+	b.SetBytes(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Produce("", "rp", 0, batch, broker.AcksAll); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(float64(leaderLat.Microseconds()), "leader_us/produce")
+	b.ReportMetric(float64(allLat.Microseconds()), "all_us/produce")
+	b.ReportMetric(float64(allLat)/float64(leaderLat), "all_vs_leader_x")
 }
 
 // BenchmarkUnmarshalBatchAllocs pins the fetch-side wire decode: one

@@ -7,6 +7,8 @@
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous offsets -topic t
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous metadata
 //	octopus-cli -addr 127.0.0.1:9092 -anonymous isr -topic t
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous stats -watch 2s
+//	octopus-cli -addr 127.0.0.1:9092 -anonymous trace
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/broker"
@@ -30,7 +34,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets|metadata|isr [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: octopus-cli [flags] produce|consume|offsets|metadata|isr|stats|trace [subflags]")
 		os.Exit(2)
 	}
 
@@ -60,6 +64,10 @@ func main() {
 		metadata(conn, args[1:])
 	case "isr":
 		isr(conn, args[1:])
+	case "stats":
+		stats(conn, args[1:])
+	case "trace":
+		traceCmd(conn, args[1:])
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
@@ -151,6 +159,147 @@ func isr(conn *wire.Client, args []string) {
 			for _, fo := range rp.Followers {
 				fmt.Printf("    follower broker-%d: leo=%d lag=%d\n", fo.Broker, fo.LogEnd, rp.LogEnd-fo.LogEnd)
 			}
+		}
+	}
+}
+
+// fetchStats scrapes a broker's OpStats snapshot: the control
+// connection by default, or a specific broker's data-plane address
+// with -at — any broker answers for itself.
+func fetchStats(conn *wire.Client, at string) (*wire.StatsResp, error) {
+	if at != "" {
+		return conn.StatsAt(at)
+	}
+	return conn.Stats()
+}
+
+// histVal renders one histogram quantile: nanosecond metrics as
+// durations, everything else (batch sizes, byte counts) as plain
+// numbers.
+func histVal(name string, v float64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return time.Duration(int64(v)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// stats prints a broker's observability snapshot — counters, gauges,
+// and latency/size histograms with client-side quantiles — scraped
+// over the wire connection (OpStats). With -watch it re-scrapes until
+// interrupted.
+func stats(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	at := fs.String("at", "", "scrape this broker address instead of the control connection")
+	watch := fs.Duration("watch", 0, "re-scrape at this interval until interrupted (0: once)")
+	_ = fs.Parse(args)
+	for {
+		st, err := fetchStats(conn, *at)
+		if err != nil {
+			log.Fatalf("stats: %v (the server may predate FeatStats)", err)
+		}
+		printStats(st)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+func printStats(st *wire.StatsResp) {
+	broker := fmt.Sprintf("broker %d", st.BrokerID)
+	if st.BrokerID < 0 {
+		broker = "unscoped listener"
+	}
+	fmt.Printf("%s @ %s\n", broker, time.Now().Format(time.RFC3339))
+	sort.Slice(st.Counters, func(i, j int) bool { return st.Counters[i].Name < st.Counters[j].Name })
+	sort.Slice(st.Gauges, func(i, j int) bool { return st.Gauges[i].Name < st.Gauges[j].Name })
+	sort.Slice(st.Hists, func(i, j int) bool { return st.Hists[i].Name < st.Hists[j].Name })
+	if len(st.Counters) > 0 {
+		fmt.Println("counters:")
+		for _, e := range st.Counters {
+			fmt.Printf("  %-36s %d\n", e.Name, e.Value)
+		}
+	}
+	if len(st.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, e := range st.Gauges {
+			fmt.Printf("  %-36s %d\n", e.Name, e.Value)
+		}
+	}
+	if len(st.Hists) > 0 {
+		fmt.Println("histograms:")
+		for i := range st.Hists {
+			h := &st.Hists[i]
+			if h.Count == 0 {
+				continue
+			}
+			mean := float64(h.Sum) / float64(h.Count)
+			fmt.Printf("  %-36s n=%-8d mean=%-10s p50=%-10s p99=%s\n",
+				h.Name, h.Count, histVal(h.Name, mean),
+				histVal(h.Name, h.Quantile(0.5)), histVal(h.Name, h.Quantile(0.99)))
+		}
+	}
+	for _, s := range st.Summaries {
+		fmt.Printf("  %-36s n=%-8d mean=%.2fms p50=%.2fms p99=%.2fms\n",
+			s.Name, s.Count, s.MeanMs, s.P50Ms, s.P99Ms)
+	}
+}
+
+// traceCmd prints the produce stage-trace breakdown: for every stage
+// the server declares, the p50/p99/max latency across the sampled
+// produces in the broker's trace ring, then the most recent raw
+// samples.
+func traceCmd(conn *wire.Client, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	at := fs.String("at", "", "scrape this broker address instead of the control connection")
+	recent := fs.Int("n", 5, "also print this many most-recent sampled produces")
+	_ = fs.Parse(args)
+	st, err := fetchStats(conn, *at)
+	if err != nil {
+		log.Fatalf("trace: %v (the server may predate FeatStats)", err)
+	}
+	if len(st.TraceStages) == 0 || st.TraceEvery == 0 {
+		log.Fatal("no stage tracing on this broker")
+	}
+	fmt.Printf("produce stage tracing: 1-in-%d sampled, %d sampled lifetime, %d in ring\n",
+		st.TraceEvery, st.TraceSampled, len(st.Traces))
+	for si, name := range st.TraceStages {
+		var ds []int64
+		for _, tr := range st.Traces {
+			// A zero stage did not run for that produce (e.g. no
+			// replication wait under acks=1) — excluded from quantiles.
+			if si < len(tr.StageNs) && tr.StageNs[si] > 0 {
+				ds = append(ds, tr.StageNs[si])
+			}
+		}
+		if len(ds) == 0 {
+			fmt.Printf("  %-16s (no samples)\n", name)
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		p50 := ds[len(ds)/2]
+		p99 := ds[(len(ds)-1)*99/100]
+		max := ds[len(ds)-1]
+		fmt.Printf("  %-16s n=%-5d p50=%-10v p99=%-10v max=%v\n", name, len(ds),
+			time.Duration(p50).Round(time.Microsecond),
+			time.Duration(p99).Round(time.Microsecond),
+			time.Duration(max).Round(time.Microsecond))
+	}
+	if *recent > 0 && len(st.Traces) > 0 {
+		n := *recent
+		if n > len(st.Traces) {
+			n = len(st.Traces)
+		}
+		fmt.Printf("last %d sampled produces:\n", n)
+		for _, tr := range st.Traces[len(st.Traces)-n:] {
+			fmt.Printf("  %s events=%d acks=%d", time.Unix(0, tr.StartUnixNano).Format("15:04:05.000000"), tr.Events, tr.Acks)
+			for si, d := range tr.StageNs {
+				if si < len(st.TraceStages) {
+					fmt.Printf(" %s=%v", st.TraceStages[si], time.Duration(d).Round(time.Microsecond))
+				}
+			}
+			fmt.Println()
 		}
 	}
 }

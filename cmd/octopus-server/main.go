@@ -21,6 +21,14 @@
 //
 //	octopus-server -brokers 3 -cluster -replication -data /var/lib/octopus
 //
+// With -metrics-addr, the process serves Prometheus text exposition:
+// the fabric-wide registry plus one per-listener registry (labelled
+// broker="N" in cluster mode) from a single /metrics endpoint. With
+// -pprof-addr, the standard net/http/pprof profiles are served on
+// their own listener, kept off the public web-service address:
+//
+//	octopus-server -brokers 3 -cluster -metrics-addr 127.0.0.1:9100 -pprof-addr 127.0.0.1:6060
+//
 // For a first run, -bootstrap-user creates an identity and prints a
 // token and fabric key so the CLI can connect immediately.
 package main
@@ -31,6 +39,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -38,6 +47,7 @@ import (
 
 	"repro/internal/clusternet"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/trigger"
 	"repro/internal/wire"
 )
@@ -53,6 +63,8 @@ func main() {
 	bootstrapUser := flag.String("bootstrap-user", "", "create this identity at startup and print credentials")
 	anonymous := flag.Bool("anonymous", false, "allow unauthenticated wire connections")
 	retentionSweep := flag.Duration("retention-sweep", time.Minute, "how often to enforce topic retention")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text exposition on this address at /metrics (empty: disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
 
 	if *replication && !*clusterMode {
@@ -99,6 +111,9 @@ func main() {
 	if *anonymous {
 		mode = " (anonymous)"
 	}
+	// promSources is rebuilt per scrape so a stopped/restarted broker's
+	// listener joins and leaves the exposition with its lifecycle.
+	var promSources func() []metrics.PromSource
 	if *clusterMode {
 		addrs, err := clusterAddrs(*wireAddr, *brokers)
 		if err != nil {
@@ -117,6 +132,17 @@ func main() {
 		if *replication {
 			log.Printf("replication: followers pull over OpReplicaFetch, acks=all gated on ISR high watermarks")
 		}
+		promSources = func() []metrics.PromSource {
+			srcs := []metrics.PromSource{{Reg: oct.Fabric.Metrics}}
+			for _, id := range oct.Fabric.NodeIDs() {
+				if srv := cnet.Server(id); srv != nil {
+					srcs = append(srcs, metrics.PromSource{
+						Labels: fmt.Sprintf(`broker="%d"`, id), Reg: srv.Metrics(),
+					})
+				}
+			}
+			return srcs
+		}
 	} else {
 		listen := oct.ListenWire
 		if *anonymous {
@@ -127,6 +153,35 @@ func main() {
 			log.Fatalf("wire listen: %v", err)
 		}
 		log.Printf("wire endpoint%s on %s (protocol v1-v%d, v2 + streaming fetch negotiated per connection)", mode, addr, wire.MaxProtocol)
+		promSources = func() []metrics.PromSource {
+			srcs := []metrics.PromSource{{Reg: oct.Fabric.Metrics}}
+			if srv := oct.WireServer(); srv != nil {
+				srcs = append(srcs, metrics.PromSource{Reg: srv.Metrics()})
+			}
+			return srcs
+		}
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(promSources))
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Fatalf("metrics: %v", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, served only here — never on the web-service or
+		// metrics listeners.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Fatalf("pprof: %v", err)
+			}
+		}()
 	}
 
 	go func() {

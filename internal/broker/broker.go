@@ -212,7 +212,70 @@ type Fabric struct {
 	cProduced    *metrics.Counter
 	cFetched     *metrics.Counter
 	cRateLimited *metrics.Counter
+
+	// hot is the pre-resolved hot-path histogram set (nil = hot-path
+	// metrics disabled, the baseline the instrumentation-overhead gate
+	// compares against). Stored atomically so it can be toggled without
+	// racing in-flight produces.
+	hot atomic.Pointer[fabricHot]
+	// tracer samples 1-in-N per-partition produces into a stage-trace
+	// ring; see trace.go.
+	tracer *ProduceTracer
 }
+
+// fabricHot is the fabric's pre-resolved hot-path metric handles: the
+// data plane touches these raw pointers only, never a registry map or
+// mutex. Latencies are nanoseconds, sizes are events or payload bytes.
+type fabricHot struct {
+	produceNs    *metrics.BucketHist // fabric.produce_ns
+	produceBatch *metrics.BucketHist // fabric.produce_batch_events
+	appendNs     *metrics.BucketHist // fabric.append_ns
+	commitWaitNs *metrics.BucketHist // fabric.commit_wait_ns
+	fetchNs      *metrics.BucketHist // fabric.fetch_ns
+	fetchBatch   *metrics.BucketHist // fabric.fetch_batch_events
+	bytesIn      *metrics.Counter    // fabric.bytes_in
+	bytesOut     *metrics.Counter    // fabric.bytes_out
+	// Eventlog-level observers, attached to partition logs at
+	// route-build time (eventlog.Config.AppendLatency / AppendBytes).
+	logAppendNs    *metrics.BucketHist // eventlog.append_ns
+	logAppendBytes *metrics.BucketHist // eventlog.append_bytes
+}
+
+func newFabricHot(r *metrics.Registry) *fabricHot {
+	return &fabricHot{
+		produceNs:      r.BucketHist("fabric.produce_ns"),
+		produceBatch:   r.BucketHist("fabric.produce_batch_events"),
+		appendNs:       r.BucketHist("fabric.append_ns"),
+		commitWaitNs:   r.BucketHist("fabric.commit_wait_ns"),
+		fetchNs:        r.BucketHist("fabric.fetch_ns"),
+		fetchBatch:     r.BucketHist("fabric.fetch_batch_events"),
+		bytesIn:        r.Counter("fabric.bytes_in"),
+		bytesOut:       r.Counter("fabric.bytes_out"),
+		logAppendNs:    r.BucketHist("eventlog.append_ns"),
+		logAppendBytes: r.BucketHist("eventlog.append_bytes"),
+	}
+}
+
+// SetHotPathMetrics enables or disables the hot-path histogram set.
+// Disabling exists for the instrumentation-overhead gate (and for
+// callers that want the last fraction of a percent back); counters
+// like fabric.produced stay on either way. Logs opened while disabled
+// carry no eventlog observers until their route is rebuilt.
+func (f *Fabric) SetHotPathMetrics(enabled bool) {
+	if enabled {
+		f.hot.Store(newFabricHot(f.Metrics))
+	} else {
+		f.hot.Store(nil)
+	}
+	// Force route rebuilds so eventlog observer wiring follows suit.
+	f.routes.Range(func(k, _ any) bool {
+		f.routes.Delete(k)
+		return true
+	})
+}
+
+// Tracer returns the fabric's produce stage tracer.
+func (f *Fabric) Tracer() *ProduceTracer { return f.tracer }
 
 // NewFabric assembles a fabric over a fresh registry.
 func NewFabric(clock vclock.Clock) *Fabric {
@@ -235,6 +298,8 @@ func NewFabric(clock vclock.Clock) *Fabric {
 	f.cProduced = f.Metrics.Counter("fabric.produced")
 	f.cFetched = f.Metrics.Counter("fabric.fetched")
 	f.cRateLimited = f.Metrics.Counter("fabric.rate_limited")
+	f.hot.Store(newFabricHot(f.Metrics))
+	f.tracer = newProduceTracer(defaultTraceEvery, defaultTraceRing)
 	return f
 }
 
@@ -411,6 +476,11 @@ func (f *Fabric) produce(identity, topic string, partition int, evs []event.Even
 	if len(evs) == 0 {
 		return 0, nil
 	}
+	h := f.hot.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	if identity != "" {
 		if err := f.ACL.Check(topic, identity, auth.PermWrite); err != nil {
 			return 0, err
@@ -450,7 +520,7 @@ func (f *Fabric) produce(identity, topic string, partition int, evs []event.Even
 	}
 	var base int64 = -1
 	for _, p := range sc.order {
-		off, err := f.producePartition(rt, p, sc.buckets[p], acks)
+		off, err := f.producePartition(rt, p, sc.buckets[p], acks, h)
 		if err != nil {
 			sc.release()
 			return 0, err
@@ -461,10 +531,19 @@ func (f *Fabric) produce(identity, topic string, partition int, evs []event.Even
 	}
 	sc.release()
 	f.cProduced.Add(int64(len(evs)))
+	if h != nil {
+		var nb int64
+		for i := range evs {
+			nb += int64(len(evs[i].Key) + len(evs[i].Value))
+		}
+		h.bytesIn.Add(nb)
+		h.produceBatch.Observe(int64(len(evs)))
+		h.produceNs.Observe(int64(time.Since(t0)))
+	}
 	return base, nil
 }
 
-func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks Acks) (int64, error) {
+func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks Acks, h *fabricHot) (int64, error) {
 	pr := &rt.parts[p]
 	if pr.leaderID < 0 || pr.leader == nil {
 		return 0, fmt.Errorf("%w: %s/%d", ErrNoLeader, rt.meta.Name, p)
@@ -475,10 +554,25 @@ func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks
 	if acks == AcksAll && pr.isr < f.MinInsyncReplicas {
 		return 0, fmt.Errorf("%w: isr=%d min=%d", ErrNotEnoughReplicas, pr.isr, f.MinInsyncReplicas)
 	}
+	// Stage timestamps are captured when hot-path histograms are on or
+	// this call drew the 1-in-N trace sample; the common disabled path
+	// pays one atomic increment and no clock reads.
+	sampled := f.tracer.shouldSample()
+	var t0, tAppend, tRepl time.Time
+	if h != nil || sampled {
+		t0 = time.Now()
+	}
 	now := f.Clock.Now()
 	base, err := pr.log.AppendBatch(evs, now)
 	if err != nil {
 		return 0, err
+	}
+	if h != nil || sampled {
+		tAppend = time.Now()
+		if h != nil {
+			h.appendNs.Observe(int64(tAppend.Sub(t0)))
+		}
+		tRepl = tAppend
 	}
 	if r := f.Replicator(); r != nil {
 		// Wire replication: followers pull this batch over
@@ -493,6 +587,15 @@ func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks
 			if err := r.WaitCommitted(tp, end-1); err != nil {
 				return 0, fmt.Errorf("broker: replicate %s-%d: %w", rt.meta.Name, p, err)
 			}
+			if h != nil || sampled {
+				tRepl = time.Now()
+				if h != nil {
+					h.commitWaitNs.Observe(int64(tRepl.Sub(tAppend)))
+				}
+			}
+		}
+		if sampled {
+			f.recordTrace(t0, tAppend, tRepl, len(evs), acks)
 		}
 		return base, nil
 	}
@@ -507,7 +610,29 @@ func (f *Fabric) producePartition(rt *topicRoute, p int, evs []event.Event, acks
 			return 0, fmt.Errorf("broker: replicate %s-%d: %w", rt.meta.Name, p, err)
 		}
 	}
+	if len(pr.followers) > 0 && (h != nil || sampled) {
+		tRepl = time.Now()
+		if h != nil {
+			h.commitWaitNs.Observe(int64(tRepl.Sub(tAppend)))
+		}
+	}
+	if sampled {
+		f.recordTrace(t0, tAppend, tRepl, len(evs), acks)
+	}
 	return base, nil
+}
+
+// recordTrace files one sampled produce into the stage-trace ring.
+// tAppend/tRepl may be zero when hot metrics were off and the clock
+// reads were skipped mid-path; they degrade to zero-length stages.
+func (f *Fabric) recordTrace(t0, tAppend, tRepl time.Time, events int, acks Acks) {
+	rec := TraceRecord{StartUnixNano: t0.UnixNano(), Events: int32(events), Acks: int8(acks)}
+	if !tAppend.IsZero() {
+		rec.StageNs[StageAppend] = int64(tAppend.Sub(t0))
+		rec.StageNs[StageReplicate] = int64(tRepl.Sub(tAppend))
+		rec.StageNs[StageAck] = int64(time.Since(tRepl))
+	}
+	f.tracer.record(rec)
 }
 
 // FetchResult is the response to a Fetch.
@@ -554,6 +679,11 @@ func (f *Fabric) FetchInto(identity, topic string, partition int, offset int64, 
 }
 
 func (f *Fabric) fetch(identity, topic string, partition int, offset int64, maxEvents, maxBytes int, dst []event.Event) (FetchResult, error) {
+	h := f.hot.Load()
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
 	if identity != "" {
 		if err := f.ACL.Check(topic, identity, auth.PermRead); err != nil {
 			return FetchResult{}, err
@@ -573,6 +703,15 @@ func (f *Fabric) fetch(identity, topic string, partition int, offset int64, maxE
 		return f.tieredFetch(pr, topic, partition, offset, maxEvents, maxBytes, dst, err)
 	}
 	f.cFetched.Add(int64(len(evs)))
+	if h != nil {
+		var nb int64
+		for i := range evs {
+			nb += int64(len(evs[i].Key) + len(evs[i].Value))
+		}
+		h.bytesOut.Add(nb)
+		h.fetchBatch.Observe(int64(len(evs)))
+		h.fetchNs.Observe(int64(time.Since(t0)))
+	}
 	res := FetchResult{Events: evs, HighWatermark: pr.log.EndOffset(), StartOffset: pr.log.StartOffset()}
 	if r := f.Replicator(); r != nil {
 		if hw, ok := r.HighWatermark(TP{Topic: topic, Partition: partition}); ok {

@@ -76,6 +76,14 @@ func (f *Fabric) buildRoute(topic string) (*topicRoute, error) {
 	}
 	rt := &topicRoute{epoch: epoch, meta: meta, parts: make([]partitionRoute, len(meta.Partitions))}
 	lcfg := logConfig(meta.Config)
+	if h := f.hot.Load(); h != nil {
+		// Newly opened partition logs report append latency and batch
+		// bytes into the fabric-wide eventlog histograms. Logs cached
+		// from before a SetHotPathMetrics toggle keep their original
+		// wiring (observer config is fixed at open).
+		lcfg.AppendLatency = h.logAppendNs
+		lcfg.AppendBytes = h.logAppendBytes
+	}
 	for i := range meta.Partitions {
 		pm := &meta.Partitions[i]
 		pr := &rt.parts[i]

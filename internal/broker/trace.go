@@ -1,0 +1,138 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Produce-path stage tracing: a 1-in-N sampler over per-partition
+// produce calls, recording where each sampled produce spent its time —
+// the attribution layer that turns "acks=all costs 9.5 ms" into a
+// budget (append vs replication wait vs bookkeeping). Sampled records
+// land in a fixed ring buffer on the fabric and are drained off-broker
+// through the wire stats op; the unsampled fast path pays one atomic
+// increment.
+
+// Trace stage indices. The paper's five produce timestamps (client
+// send, leader append, follower replicated, HW advance, ack) reduce to
+// three broker-visible durations: the client-send timestamp never
+// crosses the wire, and the follower-replicated and HW-advance instants
+// coincide inside the tracker's recompute, so the broker attributes its
+// produce time to append, replication wait, and ack bookkeeping.
+const (
+	// StageAppend: request admitted on the partition -> leader log
+	// append (including encode + flush for file-backed logs) complete.
+	StageAppend = iota
+	// StageReplicate: leader append -> high watermark advanced past the
+	// batch (the acks=all wait; zero for acks<=1, where the produce
+	// does not wait on replication).
+	StageReplicate
+	// StageAck: replication wait -> produce returns to the transport
+	// (metric observes, scratch release).
+	StageAck
+	// NumTraceStages is the per-record stage count.
+	NumTraceStages
+)
+
+// TraceStageNames names the stages, index-aligned with StageNs.
+var TraceStageNames = [NumTraceStages]string{"leader_append", "replication_hw", "ack"}
+
+// TraceRecord is one sampled per-partition produce.
+type TraceRecord struct {
+	// StartUnixNano is the wall-clock produce admission time.
+	StartUnixNano int64
+	// StageNs holds per-stage durations in nanoseconds.
+	StageNs [NumTraceStages]int64
+	// Events is the batch size appended to the partition.
+	Events int32
+	// Acks is the producer acknowledgment level of the call.
+	Acks int8
+}
+
+// Total returns the record's end-to-end duration in nanoseconds.
+func (r *TraceRecord) Total() int64 {
+	var t int64
+	for _, d := range r.StageNs {
+		t += d
+	}
+	return t
+}
+
+// defaultTraceEvery samples one per-partition produce in 128 — cheap
+// enough to leave on permanently, frequent enough that a ring of 256
+// records covers the last ~32k produces.
+const defaultTraceEvery = 128
+
+// defaultTraceRing is the ring capacity.
+const defaultTraceRing = 256
+
+// ProduceTracer is the fabric's stage-trace sampler and ring buffer.
+// The sampling decision is one atomic add; only sampled calls take the
+// ring mutex (1-in-N, off the common path).
+type ProduceTracer struct {
+	every atomic.Uint64
+	ctr   atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []TraceRecord
+	next  int
+	total uint64
+}
+
+func newProduceTracer(every uint64, size int) *ProduceTracer {
+	if every == 0 {
+		every = defaultTraceEvery
+	}
+	if size <= 0 {
+		size = defaultTraceRing
+	}
+	t := &ProduceTracer{ring: make([]TraceRecord, 0, size)}
+	t.every.Store(every)
+	return t
+}
+
+// SetSampleEvery adjusts the sampling rate to one in n (n == 0 disables
+// sampling entirely).
+func (t *ProduceTracer) SetSampleEvery(n uint64) { t.every.Store(n) }
+
+// SampleEvery reports the current 1-in-N rate (0 = disabled).
+func (t *ProduceTracer) SampleEvery() uint64 { return t.every.Load() }
+
+// shouldSample is the hot-path gate: one atomic increment, true for
+// every N-th call.
+func (t *ProduceTracer) shouldSample() bool {
+	n := t.every.Load()
+	if n == 0 {
+		return false
+	}
+	return t.ctr.Add(1)%n == 0
+}
+
+// record stores one sampled produce, overwriting the oldest entry once
+// the ring is full.
+func (t *ProduceTracer) record(r TraceRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.next] = r
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained records oldest-first, plus the lifetime
+// count of sampled produces (which keeps counting after the ring wraps).
+func (t *ProduceTracer) Snapshot() (recs []TraceRecord, sampled uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs = make([]TraceRecord, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		recs = append(recs, t.ring[t.next:]...)
+		recs = append(recs, t.ring[:t.next]...)
+	} else {
+		recs = append(recs, t.ring...)
+	}
+	return recs, t.total
+}

@@ -156,6 +156,15 @@ func (c *Cluster) startBroker(id int, addr string) error {
 	return nil
 }
 
+// Server returns a broker's running wire server, nil when the broker
+// is stopped or unknown — how a metrics endpoint reaches each
+// listener's registry without racing stop/restart cycles.
+func (c *Cluster) Server(id int) *wire.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[id]
+}
+
 // Addr returns a broker's advertised address ("" for unknown ids) —
 // any of them works as a client seed.
 func (c *Cluster) Addr(id int) string {

@@ -123,6 +123,11 @@ func (o *Octopus) listenWire(addr string, anonymous bool) (string, error) {
 	return o.wireServer.Listen(addr)
 }
 
+// WireServer returns the single-listener wire server, nil before
+// ListenWire — the handle a metrics endpoint exports listener-level
+// telemetry through.
+func (o *Octopus) WireServer() *wire.Server { return o.wireServer }
+
 // User is an authenticated principal with a live token.
 type User struct {
 	Identity auth.Identity

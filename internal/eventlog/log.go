@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/metrics"
 )
 
 // Errors returned by log reads.
@@ -66,6 +67,15 @@ type Config struct {
 	// survives process crashes (the failure mode replication recovery
 	// exercises) but not host power loss.
 	Fsync bool
+	// AppendLatency, when non-nil, observes the wall-clock nanoseconds
+	// of every append batch (lock wait + encode + flush + optional
+	// fsync) — the storage-engine slice of the produce latency budget.
+	// Fixed at open; typically a fabric-wide histogram shared by every
+	// partition log.
+	AppendLatency *metrics.BucketHist
+	// AppendBytes, when non-nil, observes the payload bytes appended
+	// per batch.
+	AppendBytes *metrics.BucketHist
 }
 
 // DefaultConfig returns the paper's defaults (7-day retention).
@@ -230,12 +240,17 @@ func (l *Log) Append(ev event.Event, now time.Time) (int64, error) {
 // for file-backed logs it is also the durability unit: one write (and
 // optional fsync) covers the whole batch.
 func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
+	var t0 time.Time
+	if l.cfg.AppendLatency != nil {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	first := l.next
+	startBytes := l.bytes
 	var err error
 	for i := range evs {
 		if err = l.appendLocked(evs[i], now); err != nil {
@@ -245,12 +260,19 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 	if err == nil {
 		err = l.flushLocked()
 	}
+	appended := l.bytes - startBytes
 	var fired []func()
 	if len(evs) > 0 {
 		fired = l.notifyLocked()
 	}
 	l.mu.Unlock()
 	runNotifies(fired)
+	if l.cfg.AppendLatency != nil {
+		l.cfg.AppendLatency.Observe(int64(time.Since(t0)))
+		if l.cfg.AppendBytes != nil {
+			l.cfg.AppendBytes.Observe(appended)
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -269,11 +291,16 @@ func (l *Log) AppendBatch(evs []event.Event, now time.Time) (int64, error) {
 // side, preserving the active-segment density invariant. Like
 // AppendBatch, the whole call is one durability unit.
 func (l *Log) AppendReplicated(evs []event.Event) error {
+	var t0 time.Time
+	if l.cfg.AppendLatency != nil {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	startBytes := l.bytes
 	var err error
 	appended := false
 	for i := range evs {
@@ -294,12 +321,19 @@ func (l *Log) AppendReplicated(evs []event.Event) error {
 	if err == nil {
 		err = l.flushLocked()
 	}
+	addedBytes := l.bytes - startBytes
 	var fired []func()
 	if appended {
 		fired = l.notifyLocked()
 	}
 	l.mu.Unlock()
 	runNotifies(fired)
+	if l.cfg.AppendLatency != nil && appended {
+		l.cfg.AppendLatency.Observe(int64(time.Since(t0)))
+		if l.cfg.AppendBytes != nil {
+			l.cfg.AppendBytes.Observe(addedBytes)
+		}
+	}
 	return err
 }
 

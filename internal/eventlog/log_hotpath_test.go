@@ -249,12 +249,12 @@ func TestReadBytesBudgetSemantics(t *testing.T) {
 		budget int
 		want   int
 	}{
-		{1, 1},    // smaller than the first event: first is still returned
-		{100, 1},  // exactly the first event: stop at the budget
-		{101, 1},  // second event would reach 300 >= 101
-		{300, 1},  // 100+200 == 300 >= 300: second excluded
-		{301, 2},  // 100+200 < 301
-		{351, 3},  // +50 = 350 < 351
+		{1, 1},   // smaller than the first event: first is still returned
+		{100, 1}, // exactly the first event: stop at the budget
+		{101, 1}, // second event would reach 300 >= 101
+		{300, 1}, // 100+200 == 300 >= 300: second excluded
+		{301, 2}, // 100+200 < 301
+		{351, 3}, // +50 = 350 < 351
 		{10_000, 5},
 	}
 	for _, c := range cases {

@@ -108,15 +108,23 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0..1) in milliseconds.
+// Quantile returns the q-quantile (0..1) in milliseconds. Each call
+// copies and sorts the sample set; callers that need several quantiles
+// of one consistent view (an exposition pass) should use Summary, which
+// sorts once for all of them.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	s := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), h.samples...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted interpolates the q-quantile of an ascending sample set.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}
@@ -133,6 +141,39 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
+// HistogramSummary is one consistent view of a Histogram: count, mean,
+// max and the reporting quantiles, all from a single sorted copy of the
+// sample set.
+type HistogramSummary struct {
+	Count         int64
+	MeanMs, MaxMs float64
+	P50Ms, P99Ms  float64
+	SumMs         float64
+}
+
+// Summary takes one consistent snapshot of the histogram — one lock
+// acquisition, one sample copy, one sort — and derives every reported
+// statistic from it. The seed's Snapshot called Count/Median/P99
+// separately, copying and sorting the full sample slice under the lock
+// three times per exposition line; Summary is the single-pass
+// replacement.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	s := append([]float64(nil), h.samples...)
+	out := HistogramSummary{Count: h.count, MaxMs: h.max, SumMs: h.sum}
+	if h.count > 0 {
+		out.MeanMs = h.sum / float64(h.count)
+	}
+	h.mu.Unlock()
+	if len(s) == 0 {
+		return out
+	}
+	sort.Float64s(s)
+	out.P50Ms = quantileSorted(s, 0.5)
+	out.P99Ms = quantileSorted(s, 0.99)
+	return out
+}
+
 // Median returns the 50th percentile in milliseconds.
 func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
 
@@ -145,22 +186,51 @@ type Point struct {
 	V float64
 }
 
+// maxSeriesPoints bounds a Series' retained samples. When the cap is
+// reached the series halves itself by dropping every other retained
+// point and doubles its keep stride, so memory stays bounded while the
+// retained points still span the whole recording — a long-running
+// broker degrades resolution instead of leaking.
+const maxSeriesPoints = 8192
+
 // Series records a named time series, used to regenerate the figure data
 // (queue depth over time, concurrent invocations over time, ...).
+// Retention is bounded: past maxSeriesPoints the series downsamples,
+// keeping every 2nd, then 4th, ... sample.
 type Series struct {
 	mu     sync.Mutex
 	Name   string
 	points []Point
+	// stride is the current keep interval (1 = keep everything); skip
+	// counts samples dropped since the last kept one.
+	stride int
+	skip   int
 }
 
 // NewSeries creates an empty series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
-// Record appends a sample.
+// Record appends a sample, subject to the retention bound.
 func (s *Series) Record(t time.Time, v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	s.skip++
+	if s.skip < s.stride {
+		return
+	}
+	s.skip = 0
 	s.points = append(s.points, Point{T: t, V: v})
+	if len(s.points) >= maxSeriesPoints {
+		kept := s.points[:0]
+		for i := 0; i < len(s.points); i += 2 {
+			kept = append(kept, s.points[i])
+		}
+		s.points = kept
+		s.stride *= 2
+	}
 }
 
 // Points returns a copy of the samples in record order.
@@ -189,6 +259,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	bhists     map[string]*BucketHist
 }
 
 // NewRegistry creates an empty registry.
@@ -197,6 +268,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		bhists:     make(map[string]*BucketHist),
 	}
 }
 
@@ -236,8 +308,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// BucketHist returns (creating if needed) the named lock-free bucketed
+// histogram. Callers on hot paths resolve the handle once at setup and
+// hold it: the lookup takes the registry mutex.
+func (r *Registry) BucketHist(name string) *BucketHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.bhists[name]
+	if !ok {
+		h = &BucketHist{}
+		r.bhists[name] = h
+	}
+	return h
+}
+
 // Snapshot renders all metrics as sorted "name value" lines, in the
-// spirit of a Prometheus exposition, for the admin consoles.
+// spirit of a Prometheus exposition, for the admin consoles. Each
+// reservoir histogram contributes one line computed from a single
+// consistent Summary (one copy + sort), not one per statistic.
 func (r *Registry) Snapshot() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -249,8 +337,91 @@ func (r *Registry) Snapshot() []string {
 		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.Value()))
 	}
 	for n, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%.2fms p99=%.2fms", n, h.Count(), h.Median(), h.P99()))
+		s := h.Summary()
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d p50=%.2fms p99=%.2fms", n, s.Count, s.P50Ms, s.P99Ms))
+	}
+	for n, h := range r.bhists {
+		s := h.Snapshot()
+		lines = append(lines, fmt.Sprintf("bucket_hist %s count=%d p50=%.0f p99=%.0f", n, s.Count, s.Quantile(0.5), s.Quantile(0.99)))
 	}
 	sort.Strings(lines)
 	return lines
+}
+
+// NamedValue is one exported counter or gauge.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// NamedBucketHist is one exported bucketed histogram.
+type NamedBucketHist struct {
+	Name string
+	Snap BucketSnapshot
+}
+
+// NamedSummary is one exported reservoir histogram, reduced to its
+// reporting statistics (milliseconds).
+type NamedSummary struct {
+	Name    string
+	Summary HistogramSummary
+}
+
+// Export is a registry's full content at one point in time — the
+// payload behind both the Prometheus endpoint and the wire-level stats
+// op. Slices are sorted by name.
+type Export struct {
+	Counters  []NamedValue
+	Gauges    []NamedValue
+	Hists     []NamedBucketHist
+	Summaries []NamedSummary
+}
+
+// Export captures every metric in the registry. The registry mutex is
+// held only while collecting handles; histogram snapshots and summary
+// sorts run outside it.
+func (r *Registry) Export() Export {
+	r.mu.Lock()
+	counters := make([]NamedValue, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, NamedValue{Name: n, Value: c.Value()})
+	}
+	gauges := make([]NamedValue, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, NamedValue{Name: n, Value: g.Value()})
+	}
+	hh := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.histograms))
+	for n, h := range r.histograms {
+		hh = append(hh, struct {
+			name string
+			h    *Histogram
+		}{n, h})
+	}
+	bh := make([]struct {
+		name string
+		h    *BucketHist
+	}, 0, len(r.bhists))
+	for n, h := range r.bhists {
+		bh = append(bh, struct {
+			name string
+			h    *BucketHist
+		}{n, h})
+	}
+	r.mu.Unlock()
+
+	out := Export{Counters: counters, Gauges: gauges}
+	for _, e := range hh {
+		out.Summaries = append(out.Summaries, NamedSummary{Name: e.name, Summary: e.h.Summary()})
+	}
+	for _, e := range bh {
+		out.Hists = append(out.Hists, NamedBucketHist{Name: e.name, Snap: e.h.Snapshot()})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	sort.Slice(out.Summaries, func(i, j int) bool { return out.Summaries[i].Name < out.Summaries[j].Name })
+	return out
 }

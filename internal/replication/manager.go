@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/metrics"
 )
 
 // Client is the transport a Manager pulls replication batches
@@ -47,6 +48,13 @@ type Manager struct {
 	cli      Client
 	cfg      Config
 
+	// Pre-resolved follower-side instrumentation: the replica-fetch
+	// round trip (fetch + local append + ack) and per-round batch size,
+	// observed only for data-carrying rounds so lapsed long polls do not
+	// drown the distribution.
+	hRtt   *metrics.BucketHist
+	hBatch *metrics.BucketHist
+
 	mu    sync.Mutex
 	loops map[broker.TP]*fetchLoop
 	stop  chan struct{}
@@ -64,7 +72,9 @@ func NewManager(f *broker.Fabric, brokerID int, cli Client, cfg Config) *Manager
 	cfg.fill()
 	return &Manager{
 		f: f, brokerID: brokerID, cli: cli, cfg: cfg,
-		loops: make(map[broker.TP]*fetchLoop),
+		hRtt:   f.Metrics.BucketHist("replication.fetch_rtt_ns"),
+		hBatch: f.Metrics.BucketHist("replication.fetch_batch_events"),
+		loops:  make(map[broker.TP]*fetchLoop),
 	}
 }
 
@@ -210,6 +220,7 @@ func (m *Manager) run(tp broker.TP, l *fetchLoop) {
 			continue
 		}
 		pos := log.EndOffset()
+		t0 := time.Now()
 		batch, err := m.cli.ReplicaFetch(m.brokerID, tp.Topic, tp.Partition, epoch, pos, m.cfg.MaxEvents, m.cfg.MaxBytes, m.cfg.FetchWait, buf)
 		switch {
 		case err == nil:
@@ -224,6 +235,12 @@ func (m *Manager) run(tp broker.TP, l *fetchLoop) {
 				// (and any acks=all producer waiting on it) advances half
 				// a round trip sooner than the next fetch.
 				_ = m.cli.ReplicaAck(m.brokerID, tp.Topic, tp.Partition, epoch, log.EndOffset())
+				// The full replicate round: wire fetch + local append +
+				// ack. A round that long-polled before data arrived
+				// includes that park, so the low quantiles of a busy
+				// partition are the meaningful replication-speed signal.
+				m.hRtt.Observe(int64(time.Since(t0)))
+				m.hBatch.Observe(int64(len(batch.Events)))
 				continue
 			}
 			if batch.LogEnd < pos {

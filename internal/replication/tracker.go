@@ -26,6 +26,13 @@ type Tracker struct {
 	// underRepl gauges the number of tracked partitions whose ISR is
 	// smaller than their replica set.
 	underRepl *metrics.Gauge
+	// Pre-resolved hot-path histograms (see ISSUE 10): HW advance batch
+	// sizes, acks=all wait latency, and leader-side replica fetch batch
+	// sizes. Resolved once; the tracker never touches the registry map
+	// on a produce or fetch path.
+	hHwAdvance    *metrics.BucketHist
+	hCommitWaitNs *metrics.BucketHist
+	hFetchServed  *metrics.BucketHist
 }
 
 // partState is one partition's tracked replication state.
@@ -59,8 +66,11 @@ func NewTracker(f *broker.Fabric, cfg Config) *Tracker {
 	cfg.fill()
 	return &Tracker{
 		f: f, cfg: cfg,
-		parts:     make(map[broker.TP]*partState),
-		underRepl: f.Metrics.Gauge("replication.under_replicated"),
+		parts:         make(map[broker.TP]*partState),
+		underRepl:     f.Metrics.Gauge("replication.under_replicated"),
+		hHwAdvance:    f.Metrics.BucketHist("replication.hw_advance_events"),
+		hCommitWaitNs: f.Metrics.BucketHist("replication.wait_committed_ns"),
+		hFetchServed:  f.Metrics.BucketHist("replication.replica_fetch_events"),
 	}
 }
 
@@ -133,6 +143,10 @@ func (t *Tracker) recomputeLocked(st *partState) {
 		}
 	}
 	if min > st.hw {
+		// The advance size distribution answers "does the HW move in
+		// produce-batch strides or crawl record by record" — the shape
+		// behind the acks=all latency number.
+		t.hHwAdvance.Observe(min - st.hw)
 		st.hw = min
 		st.hwGauge.Set(min)
 		if st.waitCh != nil {
@@ -209,6 +223,8 @@ func (t *Tracker) HighWatermark(tp broker.TP) (int64, bool) {
 // followers never ack, the ISR shrinks to the leader, and (with the
 // default min of 1) the cluster keeps serving as a single replica.
 func (t *Tracker) WaitCommitted(tp broker.TP, lastOffset int64) error {
+	t0 := time.Now()
+	defer func() { t.hCommitWaitNs.Observe(int64(time.Since(t0))) }()
 	timer := time.NewTimer(t.cfg.CommitTimeout)
 	defer timer.Stop()
 	for {
@@ -318,6 +334,11 @@ func (t *Tracker) ReplicaFetch(followerID int, tp broker.TP, epoch, offset int64
 	}
 	if rerr == nil {
 		res.Events = evs
+		if len(evs) > 0 {
+			// Data-carrying serves only: a lapsed long poll says nothing
+			// about replication batch sizing.
+			t.hFetchServed.Observe(int64(len(evs)))
+		}
 	}
 	// Out-of-range reads fall through with no events: the framing
 	// offsets below tell the follower how to reconcile.

@@ -135,7 +135,7 @@ func (x *ClusterRoutingFixture) Run(c *wire.Client) (float64, error) {
 			return 0, err
 		}
 	}
-	return float64(x.Workers * x.Rounds * len(x.Batch)) / time.Since(start).Seconds(), nil
+	return float64(x.Workers*x.Rounds*len(x.Batch)) / time.Since(start).Seconds(), nil
 }
 
 // Close releases everything the fixture opened, in reverse order.

@@ -73,6 +73,10 @@ type Options struct {
 	// to prove a mixed-version cluster degrades to single-replica
 	// operation instead of wedging.
 	DisableReplication bool
+	// DisableStats masks FeatStats out of negotiation: the client never
+	// requests observability snapshots, emulating a client that predates
+	// them. Used by interop tests.
+	DisableStats bool
 }
 
 // features is the feature set this client offers in negotiation.
@@ -92,6 +96,9 @@ func (o *Options) features() uint32 {
 	}
 	if o.DisableReplication {
 		feats &^= FeatReplication
+	}
+	if o.DisableStats {
+		feats &^= FeatStats
 	}
 	return feats
 }
@@ -1192,6 +1199,28 @@ func (c *Client) Commit(groupID, memberID string, generation int, topic string, 
 	}
 	_, err := c.controlCall(&req, nil)
 	return err
+}
+
+// Stats fetches an observability snapshot — exported metrics plus the
+// produce stage-trace ring — from the control endpoint's broker. It
+// fails with an unknown-op error against peers without FeatStats.
+func (c *Client) Stats() (*StatsResp, error) {
+	var resp StatsResp
+	if _, err := c.controlCall(&StatsReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// StatsAt fetches an observability snapshot from one specific broker
+// address — per-broker state (histograms, traces) is local to each
+// broker, so cluster tooling scrapes every advertised address.
+func (c *Client) StatsAt(addr string) (*StatsResp, error) {
+	var resp StatsResp
+	if _, err := c.callAt(addr, 0, &StatsReq{}, &resp, nil, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Committed implements client.Transport.

@@ -32,6 +32,7 @@ type suiteFeatures struct {
 	serverNoSession, clientNoSession bool
 	serverNoPush, clientNoPush       bool
 	serverNoRepl, clientNoRepl       bool
+	serverNoStats, clientNoStats     bool
 }
 
 // runWireSuiteStreaming is runWireSuite with streaming fetch optionally
@@ -62,6 +63,7 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	s.DisableSessionFetch = sf.serverNoSession
 	s.DisableMetaPush = sf.serverNoPush
 	s.DisableReplication = sf.serverNoRepl
+	s.DisableStats = sf.serverNoStats
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +74,7 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 		Anonymous: true, MaxVersion: clientMax, PoolSize: 2,
 		DisableStreaming: sf.clientNoStream, DisableClusterMeta: sf.clientNoMeta,
 		DisableSessionFetch: sf.clientNoSession, DisableMetaPush: sf.clientNoPush,
-		DisableReplication: sf.clientNoRepl,
+		DisableReplication: sf.clientNoRepl, DisableStats: sf.clientNoStats,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +102,10 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	wantRepl := wantVersion >= ProtocolV2 && !sf.serverNoRepl && !sf.clientNoRepl
 	if gotRepl := c.Features()&FeatReplication != 0; gotRepl != wantRepl {
 		t.Fatalf("replication negotiated = %v, want %v", gotRepl, wantRepl)
+	}
+	wantStats := wantVersion >= ProtocolV2 && !sf.serverNoStats && !sf.clientNoStats
+	if gotStats := c.Features()&FeatStats != 0; gotStats != wantStats {
+		t.Fatalf("stats negotiated = %v, want %v", gotStats, wantStats)
 	}
 	if wantVersion >= ProtocolV2 && !wantRepl {
 		// The fallback contract: without the feature, replication ops
@@ -171,6 +177,42 @@ func runWireSuiteFeatures(t *testing.T, serverMax, clientMax, wantVersion int, s
 	}
 	if !wantSession && sessOpen != 0 {
 		t.Fatalf("%d fetch sessions open without FeatSessionFetch", sessOpen)
+	}
+
+	// Observability: with FeatStats negotiated the broker's snapshot
+	// arrives over the same connection and reflects the traffic above;
+	// without it, OpStats is refused — a clean error, never leaked
+	// telemetry.
+	if wantStats {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		produced := int64(-1)
+		for _, e := range st.Counters {
+			if e.Name == "fabric.produced" {
+				produced = e.Value
+			}
+		}
+		if produced < total {
+			t.Fatalf("stats fabric.produced = %d, want >= %d", produced, total)
+		}
+		histObserved := false
+		for i := range st.Hists {
+			if st.Hists[i].Count > 0 && len(st.Hists[i].Buckets) > 0 {
+				histObserved = true
+			}
+		}
+		if !histObserved {
+			t.Fatal("stats snapshot carries no populated histogram after traffic")
+		}
+		if len(st.TraceStages) == 0 || st.TraceEvery == 0 {
+			t.Fatalf("stage tracing not exposed: stages %v every %d", st.TraceStages, st.TraceEvery)
+		}
+	} else {
+		if _, err := c.Stats(); err == nil {
+			t.Fatal("Stats succeeded without FeatStats")
+		}
 	}
 
 	// Offset + metadata ops.
@@ -315,4 +357,18 @@ func TestInteropReplicationOffServerSide(t *testing.T) {
 // server, and everything else serves identically.
 func TestInteropReplicationOffClientSide(t *testing.T) {
 	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoRepl: true})
+}
+
+// TestInteropStatsOffServerSide: a server that predates the
+// observability plane refuses OpStats as an unknown op while the whole
+// data-plane suite passes unchanged.
+func TestInteropStatsOffServerSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{serverNoStats: true})
+}
+
+// TestInteropStatsOffClientSide: a client that masks FeatStats gets
+// OpStats refused by a stats-capable server, and everything else
+// serves identically.
+func TestInteropStatsOffClientSide(t *testing.T) {
+	runWireSuiteFeatures(t, ProtocolV2, ProtocolV2, ProtocolV2, suiteFeatures{clientNoStats: true})
 }

@@ -92,6 +92,11 @@ const (
 	// single-replica operation instead of wedging.
 	OpReplicaFetch Op = "replica_fetch"
 	OpReplicaAck   Op = "replica_ack"
+	// OpStats is the broker observability snapshot (v2-only; FeatStats).
+	// The v1 spelling exists purely so the message converted to v1
+	// framing is rejected as an unknown op by legacy servers — the clean
+	// fallback to the HTTP metrics listener.
+	OpStats Op = "stats"
 )
 
 // MaxFrame bounds a frame's payload to keep a misbehaving peer from

@@ -92,9 +92,18 @@ const (
 	// back to single-replica operation — produce acks gate only on the
 	// leader, exactly the pre-replication behavior.
 	FeatReplication uint32 = 1 << 6
+	// FeatStats: the server answers OpStats with a broker observability
+	// snapshot — every counter, gauge and bucketed histogram the broker
+	// exports, plus the produce-path stage-trace ring — so operator
+	// tooling (octopus-cli stats/trace) scrapes any broker over its
+	// ordinary data-plane connection. Masked (old peers, or
+	// DisableStats), the op is refused as unknown and tooling falls back
+	// to the HTTP metrics listener, when one is configured.
+	FeatStats uint32 = 1 << 7
 
 	allFeatures = FeatDenseOffsets | FeatErrCodes | FeatStreamFetch |
-		FeatClusterMeta | FeatSessionFetch | FeatMetaPush | FeatReplication
+		FeatClusterMeta | FeatSessionFetch | FeatMetaPush | FeatReplication |
+		FeatStats
 )
 
 // v2 operation bytes, one per message pair.
@@ -141,6 +150,10 @@ const (
 	// new end offset after appending, both fenced by the leader epoch.
 	v2OpReplicaFetch
 	v2OpReplicaAck
+	// v2OpStats is the broker observability snapshot (FeatStats): the
+	// exported metrics plus the produce stage-trace ring, as one
+	// request/response pair.
+	v2OpStats
 
 	// v2OpMax is one past the highest assigned op byte (pool sizing).
 	v2OpMax
@@ -475,6 +488,8 @@ func newReqMsg(op uint8) ReqMsg {
 		return &ReplicaFetchReq{}
 	case v2OpReplicaAck:
 		return &ReplicaAckReq{}
+	case v2OpStats:
+		return &StatsReq{}
 	}
 	return nil
 }
@@ -544,6 +559,8 @@ func newRespMsg(op uint8) respMsg {
 		return &ReplicaFetchResp{}
 	case v2OpReplicaAck:
 		return &EmptyResp{}
+	case v2OpStats:
+		return &StatsResp{}
 	}
 	return nil
 }

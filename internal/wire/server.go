@@ -75,6 +75,11 @@ type Server struct {
 	// up, and the cluster degrades to single-replica operation (the ISR
 	// shrinks to the leader).
 	DisableReplication bool
+	// DisableStats masks FeatStats out of negotiation, emulating a v2
+	// server that predates the observability snapshot: OpStats is
+	// refused as an unknown op and tooling falls back to the HTTP
+	// metrics listener, when one is configured.
+	DisableStats bool
 	// LocalBroker scopes this server to one broker of the fabric:
 	// produce, fetch and stream-open requests for partitions that
 	// broker does not lead are refused with ErrNotLeader (and counted
@@ -126,6 +131,19 @@ type serverMetrics struct {
 	creditStalls *metrics.Counter
 	// metaPushes counts pushed metadata frames.
 	metaPushes *metrics.Counter
+	// produceNs / fetchNs time the server-side dispatch of produce and
+	// fetch requests — decode, fabric call, response build — the
+	// broker's wire-visible service time, minus transport queueing.
+	// fetchNs includes any long-poll park (FetchReq.WaitMaxMS), so an
+	// idle consumer fleet shows up in the upper quantiles, not as an
+	// anomaly.
+	produceNs *metrics.BucketHist
+	fetchNs   *metrics.BucketHist
+	// streamBatch / sessionBatch size every batch the stream and
+	// session pumps push, in events — the server-push twin of the
+	// fabric's fetch_batch_events.
+	streamBatch  *metrics.BucketHist
+	sessionBatch *metrics.BucketHist
 }
 
 // met returns the server's metrics, creating the registry on first use.
@@ -138,6 +156,10 @@ func (s *Server) met() *serverMetrics {
 			pumpParks:    s.reg.Counter("wire_session_pump_parks"),
 			creditStalls: s.reg.Counter("wire_session_credit_stalls"),
 			metaPushes:   s.reg.Counter("wire_meta_pushes"),
+			produceNs:    s.reg.BucketHist("wire_produce_ns"),
+			fetchNs:      s.reg.BucketHist("wire_fetch_ns"),
+			streamBatch:  s.reg.BucketHist("wire_stream_batch_events"),
+			sessionBatch: s.reg.BucketHist("wire_session_batch_events"),
 		}
 	})
 	return s.met_
@@ -220,6 +242,9 @@ func (s *Server) featureMask() uint32 {
 	}
 	if s.DisableReplication {
 		feats &^= FeatReplication
+	}
+	if s.DisableStats {
+		feats &^= FeatStats
 	}
 	return feats
 }
@@ -620,6 +645,27 @@ func (s *Server) serveConn(conn net.Conn) {
 				sessions.closeSession(q.SessionID)
 				putReqMsg(op, m)
 				continue
+			case *StatsReq:
+				// Control-plane and cheap: handled inline like metadata,
+				// with the same feature and auth gates — a broker's
+				// telemetry (traffic volumes, latency shapes, topology
+				// hints in metric names) must not leak to anyone who can
+				// merely reach a port.
+				var resp *StatsResp
+				var serr error
+				switch {
+				case features&FeatStats == 0:
+					serr = fmt.Errorf("%w %d: stats not negotiated", errUnknownOp, op)
+				case !authed:
+					serr = fmt.Errorf("%w: connection not authenticated", auth.ErrBadCredentials)
+				default:
+					resp = buildStatsResp(s)
+				}
+				putReqMsg(op, m)
+				if w.writeV2(op, corr, resp, serr, nil) != nil {
+					return
+				}
+				continue
 			case *ReplicaFetchReq, *ReplicaAckReq:
 				// Feature-gated like metadata, but the fetch long-polls
 				// and carries events, so a negotiated request falls
@@ -816,6 +862,7 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
 			return nil, nil, err
 		}
+		t0 := time.Now()
 		evs, err := DecodeEvents(payload, q.NumEvents)
 		if err != nil {
 			return nil, nil, err
@@ -828,6 +875,7 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 		if err != nil {
 			return nil, nil, err
 		}
+		s.met().produceNs.Observe(int64(time.Since(t0)))
 		return &ProduceResp{Offset: off}, nil, nil
 	case *FetchReq:
 		if err := s.leaderCheck(q.Topic, q.Partition); err != nil {
@@ -841,6 +889,7 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 		if wait > MaxFetchWait {
 			wait = MaxFetchWait
 		}
+		t0 := time.Now()
 		res, err := s.Fabric.FetchWaitInto(identity, q.Topic, q.Partition, q.Offset, q.MaxEvents, q.MaxBytes, wait, stop, nil)
 		if err != nil {
 			return nil, nil, err
@@ -851,6 +900,7 @@ func (s *Server) dispatch(m ReqMsg, payload []byte, identity string, authed bool
 			StartOffset:   res.StartOffset,
 		}
 		resp.SetOffsets(res.Events)
+		s.met().fetchNs.Observe(int64(time.Since(t0)))
 		return resp, res.Events, nil
 	case *EndOffsetReq:
 		off, err := s.Fabric.EndOffset(q.Topic, q.Partition)

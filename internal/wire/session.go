@@ -673,6 +673,7 @@ func (ss *connSessions) pump(sess *serverSession) {
 			ss.closeSession(sess.id)
 			return
 		}
+		met.sessionBatch.Observe(int64(len(res.Events)))
 		size := sessionBatchSize(res.Events)
 		sess.mu.Lock()
 		if !sub.removed {

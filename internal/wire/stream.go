@@ -225,7 +225,7 @@ type StreamCloseReq struct {
 	ID uint64
 }
 
-func (*StreamCloseReq) V2Op() uint8                  { return v2OpStreamClose }
+func (*StreamCloseReq) V2Op() uint8                    { return v2OpStreamClose }
 func (m *StreamCloseReq) AppendBody(buf []byte) []byte { return appendUint(buf, m.ID) }
 func (m *StreamCloseReq) DecodeBody(b []byte) error {
 	var err error
@@ -411,6 +411,7 @@ func (cs *connStreams) closeAll() {
 // OpStreamClose carrying the typed error.
 func (cs *connStreams) pump(st *serverStream) {
 	defer cs.wg.Done()
+	met := cs.srv.met()
 	for {
 		st.mu.Lock()
 		for (st.credit <= 0 || (st.byteMode && st.creditBytes <= 0)) && !st.closed {
@@ -461,6 +462,7 @@ func (cs *connStreams) pump(st *serverStream) {
 			cs.closeStream(st.id)
 			return
 		}
+		met.streamBatch.Observe(int64(len(res.Events)))
 		st.next = res.Events[len(res.Events)-1].Offset + 1
 		st.mu.Lock()
 		st.credit -= len(res.Events)

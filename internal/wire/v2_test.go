@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/event"
 	"repro/internal/eventlog"
+	"repro/internal/metrics"
 )
 
 // fuzzReqSeeds returns one populated instance of every v2 request
@@ -50,6 +51,7 @@ func fuzzReqSeeds() []ReqMsg {
 		&SessionCloseReq{SessionID: 3},
 		&ReplicaFetchReq{Topic: "rt", Partition: 2, Follower: 1, LeaderEpoch: 9, Offset: 1 << 30, MaxEvents: 500, MaxBytes: 4 << 20, WaitMaxMS: 250},
 		&ReplicaAckReq{Topic: "rt", Partition: 2, Follower: 1, LeaderEpoch: 9, LogEnd: 1 << 30},
+		&StatsReq{},
 	}
 }
 
@@ -135,6 +137,33 @@ func fuzzRespSeeds() []struct {
 			return b
 		}()},
 		{v2OpReplicaAck, &EmptyResp{}},
+		{v2OpStats, statsRespSeed()},
+	}
+}
+
+// statsRespSeed returns a StatsResp exercising every section of the
+// body: counters, gauges, sparse histograms, legacy summaries, and the
+// produce stage-trace ring.
+func statsRespSeed() *StatsResp {
+	return &StatsResp{
+		BrokerID: 1,
+		Counters: []StatEntry{{Name: "fabric.produced", Value: 1234}, {Name: "fabric.bytes_in", Value: 1 << 33}},
+		Gauges:   []StatEntry{{Name: "wire_sessions_open", Value: 3}},
+		Hists: []StatHist{
+			{Name: "fabric.produce_ns", Count: 10, Sum: 50_000,
+				Buckets: []StatBucket{{Index: 64, Count: 7}, {Index: 129, Count: 3}}},
+			{Name: "wire_fetch_ns", Count: 0, Sum: 0},
+		},
+		Summaries: []StatSummary{
+			{Name: "fabric.e2e_ms", Count: 5, MeanMs: 1.5, MaxMs: 4, P50Ms: 1.25, P99Ms: 3.9, SumMs: 7.5},
+		},
+		TraceStages:  []string{"leader_append", "replication_hw", "ack"},
+		TraceEvery:   128,
+		TraceSampled: 2,
+		Traces: []StatsTrace{
+			{StartUnixNano: 1_700_000_000_000_000_000, StageNs: []int64{1000, 2000, 500}, Events: 16, Acks: -1},
+			{StartUnixNano: 1_700_000_000_000_100_000, StageNs: []int64{900, 0, 400}, Events: 1, Acks: 1},
+		},
 	}
 }
 
@@ -216,9 +245,9 @@ func TestFetchRespDenseRuns(t *testing.T) {
 		{},
 		{0},
 		{5, 6, 7, 8},
-		{10, 11, 40, 41, 42, 99},        // compaction gaps
-		{3, 1, 2},                       // non-monotonic (defensive)
-		{100, 102, 104, 106, 108, 110},  // every event its own run
+		{10, 11, 40, 41, 42, 99},       // compaction gaps
+		{3, 1, 2},                      // non-monotonic (defensive)
+		{100, 102, 104, 106, 108, 110}, // every event its own run
 	}
 	for _, offs := range cases {
 		evs := make([]event.Event, len(offs))
@@ -540,6 +569,105 @@ func TestMetadataRequiresAuth(t *testing.T) {
 	if len(resp.Brokers) != 0 {
 		t.Fatalf("unauthenticated metadata leaked %d brokers", len(resp.Brokers))
 	}
+}
+
+// TestStatsRequiresAuth pins the inline OpStats handler's auth gate: a
+// connection that negotiated v2 + FeatStats but never authenticated
+// must get bad-credentials, not the broker's telemetry — metric names
+// alone map out topics and deployment shape.
+func TestStatsRequiresAuth(t *testing.T) {
+	_, addr, stop := startServer(t, false) // authentication required
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, &Request{Op: OpNegotiate, Corr: 1, MaxVersion: ProtocolV2, Features: allFeatures}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(conn)
+	var nresp Response
+	if _, err := ReadFrame(rd, &nresp); err != nil {
+		t.Fatal(err)
+	}
+	if nresp.Version != ProtocolV2 || nresp.Features&FeatStats == 0 {
+		t.Fatalf("negotiation = v%d feats %x", nresp.Version, nresp.Features)
+	}
+	frame, err := appendFrameRequestV2(nil, 2, &StatsReq{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var hdrBuf []byte
+	hb, err := readHeaderInto(rd, &hdrBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp StatsResp
+	_, _, err = DecodeResponseV2(hb, &resp)
+	if _, perr := ReadPayloadInto(rd, nil); perr != nil {
+		t.Fatal(perr)
+	}
+	if !errors.Is(err, auth.ErrBadCredentials) {
+		t.Fatalf("unauthenticated stats error = %v, want bad credentials", err)
+	}
+	if len(resp.Counters) != 0 || len(resp.Hists) != 0 {
+		t.Fatalf("unauthenticated stats leaked %d counters, %d hists", len(resp.Counters), len(resp.Hists))
+	}
+}
+
+// TestStatHistQuantileMatchesSnapshot pins the client-side sparse
+// quantile against the broker-side bucketed one: a StatHist built the
+// way appendExport builds it must report the same quantiles as the
+// metrics.BucketSnapshot it came from — octopus-cli and the HTTP
+// exposition must never disagree about the same broker.
+func TestStatHistQuantileMatchesSnapshot(t *testing.T) {
+	var bh metrics.BucketHist
+	for i := int64(1); i <= 4000; i++ {
+		bh.Observe(i * 37)
+	}
+	snap := bh.Snapshot()
+	sh := StatHist{Count: snap.Count, Sum: snap.Sum}
+	for idx, cnt := range snap.Buckets {
+		if cnt != 0 {
+			sh.Buckets = append(sh.Buckets, StatBucket{Index: idx, Count: cnt})
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		want := snap.Quantile(q)
+		if got := sh.Quantile(q); got != want {
+			t.Fatalf("q=%v: wire %v, snapshot %v", q, got, want)
+		}
+	}
+}
+
+// FuzzDecodeStatsV2 feeds arbitrary bytes to the StatsResp body decoder
+// (the observability snapshot a CLI trusts from any broker): malformed
+// input must error, never panic or over-allocate, and any accepted body
+// must round-trip byte-identically through re-encode → decode →
+// re-encode.
+func FuzzDecodeStatsV2(f *testing.F) {
+	f.Add(statsRespSeed().AppendBody(nil))
+	f.Add((&StatsResp{BrokerID: -1}).AppendBody(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var resp StatsResp
+		if err := resp.DecodeBody(b); err != nil {
+			return
+		}
+		enc := resp.AppendBody(nil)
+		var resp2 StatsResp
+		if err := resp2.DecodeBody(enc); err != nil {
+			t.Fatalf("canonical stats re-decode failed: %v", err)
+		}
+		if enc2 := resp2.AppendBody(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable stats round trip\n %x\n %x", enc, enc2)
+		}
+	})
 }
 
 // FuzzDecodeMetadataV2 feeds arbitrary bytes to the OpMetadata

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -236,6 +237,132 @@ func BenchmarkRemoteProducePipelined(b *testing.B) {
 	b.ReportMetric(serial*batchEvents, "serial_events/s")
 	b.ReportMetric(pipelined*batchEvents, "pipelined_events/s")
 	b.ReportMetric(pipelined/serial, "speedup_x")
+}
+
+// BenchmarkInstrumentationOverhead gates the observability plane's
+// hot-path cost: the identical 128-event produce+fetch loop runs on
+// two fabrics in the same run — one with hot-path metrics disabled
+// (Fabric.SetHotPathMetrics(false): nil handle struct, logs opened
+// without observers — the pre-observability baseline) and one with the
+// default instrumentation (bucketed histograms + counters on produce,
+// append, commit-wait, and fetch, plus 1-in-128 stage-trace sampling).
+// The benchmark fails if the instrumented path costs more than 5%
+// extra ns/op (median of per-pair differences over position-balanced
+// interleaved pairs, so GC pauses and environment drift cancel) or if
+// the instrumented side allocates more per op — observation must stay
+// allocation-free.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	const batchEvents = 128
+	mk := func(instrumented bool) func() {
+		f := broker.NewFabric(nil)
+		// Before any produce: route building resolves the metric handles
+		// into each log's observer config, so the baseline fabric must
+		// disable them before its logs open.
+		f.SetHotPathMetrics(instrumented)
+		if err := f.AddBrokers(2, 2, 8); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.CreateTopic("obs", "", cluster.TopicConfig{Partitions: 2, ReplicationFactor: 2}); err != nil {
+			b.Fatal(err)
+		}
+		batch := oneKBBatch(batchEvents)
+		if _, err := f.Produce("", "obs", 0, batch, broker.AcksLeader); err != nil {
+			b.Fatal(err)
+		}
+		return func() {
+			if _, err := f.Produce("", "obs", 0, batch, broker.AcksLeader); err != nil {
+				b.Fatal(err)
+			}
+			res, err := f.Fetch("", "obs", 0, 0, batchEvents, 1<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Events) != batchEvents {
+				b.Fatalf("fetched %d events", len(res.Events))
+			}
+		}
+	}
+	runOff := mk(false)
+	runOn := mk(true)
+	// Allocation parity: identical per-op counts — three atomic adds
+	// per observation never justify an allocation. Raw malloc counters
+	// rather than testing.AllocsPerRun, whose integral truncation flaps
+	// when amortized log-growth allocations put both sides near a
+	// boundary (e.g. 3.98 vs 4.02 reads as 3 vs 4); the two fabrics
+	// share call history, so the amortized tail cancels and any real
+	// per-op difference shows up as a full +1.
+	mallocs := func(run func()) float64 {
+		const runs = 100
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < runs; i++ {
+			run()
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / runs
+	}
+	allocsOff := mallocs(runOff)
+	allocsOn := mallocs(runOn)
+	if allocsOn > allocsOff+0.5 {
+		b.Fatalf("instrumented produce+fetch allocates %.2f times, baseline %.2f — instrumentation must be allocation-free", allocsOn, allocsOff)
+	}
+	// Timing: both fabrics' logs grow with every probe iteration and the
+	// arena copies trigger GC cycles whose pauses (milliseconds against
+	// ~50µs iterations) land on random iterations, so neither
+	// phase-per-side means nor min-of-rounds separate a 5% effect from
+	// the noise. Instead: interleave the two sides pair by pair
+	// (identical heap and GC environment), alternate which side of the
+	// pair runs first (the second call tends to absorb assists
+	// triggered by the first), time every iteration individually, and
+	// compare per-side medians — a GC pause inflates one sample, never
+	// the median.
+	const pairs = 512
+	dOff := make([]time.Duration, pairs)
+	dOn := make([]time.Duration, pairs)
+	for i := 0; i < pairs; i++ {
+		first, second := runOff, runOn
+		tFirst, tSecond := &dOff[i], &dOn[i]
+		if i%2 == 1 {
+			first, second = runOn, runOff
+			tFirst, tSecond = &dOn[i], &dOff[i]
+		}
+		start := time.Now()
+		first()
+		*tFirst = time.Since(start)
+		start = time.Now()
+		second()
+		*tSecond = time.Since(start)
+	}
+	// The estimator is the median of per-pair differences: the two
+	// sides of a pair run within microseconds of each other, so slow
+	// environment drift (CPU frequency, co-tenant load) cancels exactly,
+	// and a GC pause inflates one difference, never the median.
+	diffs := make([]time.Duration, pairs)
+	for i := range diffs {
+		diffs[i] = dOn[i] - dOff[i]
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i] < diffs[j] })
+	sort.Slice(dOff, func(i, j int) bool { return dOff[i] < dOff[j] })
+	sort.Slice(dOn, func(i, j int) bool { return dOn[i] < dOn[j] })
+	nsOff := float64(dOff[pairs/2].Nanoseconds())
+	nsOn := float64(dOn[pairs/2].Nanoseconds())
+	overhead := 1 + float64(diffs[pairs/2].Nanoseconds())/nsOff
+	if overhead > 1.05 {
+		b.Fatalf("instrumented produce+fetch %.0f ns vs baseline %.0f ns: %.1f%% overhead, budget 5%%",
+			nsOn, nsOff, (overhead-1)*100)
+	}
+	b.SetBytes(batchEvents << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOn()
+	}
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	b.ReportMetric(nsOff, "baseline_ns/op")
+	b.ReportMetric(nsOn, "instrumented_ns/op")
+	b.ReportMetric(overhead, "overhead_x")
+	b.ReportMetric(allocsOn, "allocs/op")
 }
 
 // BenchmarkWireHeaderAllocs gates the v2 header codec on the server's
